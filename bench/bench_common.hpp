@@ -1,0 +1,79 @@
+// Shared helpers for the paper-reproduction bench binaries.
+//
+// Each binary regenerates one table or figure of the paper's §5. Runs use
+// the paper's experimental parameters (20-minute workload, faults injected
+// at 150/300/600 s, fixed detection time). Set VDB_QUICK=1 to shrink runs
+// (shorter duration, one injection instant) while iterating.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "benchmark/experiment.hpp"
+#include "benchmark/recovery_configs.hpp"
+#include "common/table_printer.hpp"
+
+namespace vdb::bench {
+
+inline bool quick_mode() { return std::getenv("VDB_QUICK") != nullptr; }
+
+inline SimDuration bench_duration() {
+  return quick_mode() ? 6 * kMinute : 20 * kMinute;
+}
+
+inline std::vector<SimDuration> injection_instants() {
+  if (quick_mode()) return {150 * kSecond};
+  return {150 * kSecond, 300 * kSecond, 600 * kSecond};
+}
+
+inline ExperimentOptions paper_options(const RecoveryConfigSpec& config) {
+  ExperimentOptions opts;
+  opts.config = config;
+  opts.duration = bench_duration();
+  opts.seed = 20020623;  // DSN 2002
+  return opts;
+}
+
+inline faults::FaultSpec make_fault(faults::FaultType type,
+                                    SimDuration inject_at) {
+  faults::FaultSpec spec;
+  spec.type = type;
+  spec.inject_at = inject_at;
+  spec.tablespace = "TPCC";
+  spec.table = "history";
+  spec.datafile_index = 0;
+  return spec;
+}
+
+/// Runs one experiment, aborting the bench loudly on harness errors.
+inline ExperimentResult run_or_die(const ExperimentOptions& opts,
+                                   const char* label) {
+  Experiment exp(opts);
+  auto result = exp.run();
+  if (!result.is_ok()) {
+    std::fprintf(stderr, "FATAL: experiment '%s' failed: %s\n", label,
+                 result.status().to_string().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+/// "317.0s" or ">590s" for runs where service did not return in the window.
+inline std::string recovery_cell(const ExperimentResult& result) {
+  if (!result.fault_injected) return "-";
+  if (!result.recovered) {
+    return ">" + std::to_string(static_cast<unsigned>(
+                     to_seconds(result.recovery_time))) + "s";
+  }
+  return TablePrinter::num(to_seconds(result.recovery_time), 1) + "s";
+}
+
+inline void print_header(const char* what, const char* paper_ref) {
+  std::printf("\n=== %s ===\n", what);
+  std::printf("Reproduces: %s\n", paper_ref);
+  std::printf("Mode: %s (set VDB_QUICK=1 for a fast pass)\n\n",
+              quick_mode() ? "QUICK" : "full (paper parameters)");
+}
+
+}  // namespace vdb::bench

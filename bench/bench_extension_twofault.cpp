@@ -1,0 +1,75 @@
+// EXTENSION: two-fault experiments.
+//
+// The paper's §4 excludes the "recovery mechanisms administration" fault
+// class because "after a first fault affecting the recovery mechanisms we
+// would need a second fault of other type to activate the recovery and
+// reveal the effects of the first fault." This bench runs exactly those
+// campaigns: a latent fault against a recovery mechanism, followed by a
+// delete-datafile fault that needs that mechanism.
+//
+// Expected result: the latent fault is invisible in the workload, then
+// turns an easily-recovered fault into a catastrophic one — media recovery
+// degrades to restore-to-backup (losing everything since the backup) and
+// recovery time balloons.
+#include "bench/bench_common.hpp"
+
+using namespace vdb;
+using namespace vdb::bench;
+
+namespace {
+
+ExperimentResult run_pair(const RecoveryConfigSpec& config,
+                          std::optional<faults::ExtendedFaultType> latent) {
+  ExperimentOptions opts = paper_options(config);
+  opts.archive_mode = true;
+  opts.fault = make_fault(faults::FaultType::kDeleteDatafile,
+                          injection_instants().back());
+  if (latent.has_value()) {
+    faults::ExtendedFaultSpec spec;
+    spec.type = *latent;
+    spec.tablespace = "TPCC";
+    opts.latent_fault = spec;
+    opts.latent_inject_at = 60 * kSecond;
+  }
+  return run_or_die(opts, config.name);
+}
+
+}  // namespace
+
+int main() {
+  print_header("EXTENSION: two-fault experiments",
+               "the campaign the paper's Section 4 defers");
+
+  const RecoveryConfigSpec config{"F10G3T1", 10, 3, 60};
+  TablePrinter table({"Latent fault (at 60s)", "Second fault",
+                      "Recovery", "Recovery time", "Lost committed",
+                      "Violations"});
+
+  struct Arm {
+    const char* label;
+    std::optional<faults::ExtendedFaultType> latent;
+  };
+  const Arm arms[] = {
+      {"(none: control)", std::nullopt},
+      {"Delete archive log", faults::ExtendedFaultType::kDeleteArchiveLog},
+      {"Backups missing", faults::ExtendedFaultType::kDestroyBackups},
+  };
+
+  for (const Arm& arm : arms) {
+    const ExperimentResult result = run_pair(config, arm.latent);
+    table.add_row({arm.label, "Delete datafile",
+                   result.recovery_complete ? "complete" : "incomplete",
+                   recovery_cell(result),
+                   std::to_string(result.lost_committed),
+                   std::to_string(result.integrity_violations)});
+  }
+  table.print();
+  std::printf(
+      "\nThe control arm recovers completely with zero loss. Each latent\n"
+      "fault silently removes a link of the recovery chain: media recovery\n"
+      "degrades to restore-to-backup (massive committed-transaction loss)\n"
+      "or fails outright — while integrity of whatever IS recovered still\n"
+      "holds. This quantifies why the paper calls the recovery-mechanism\n"
+      "fault class 'very problematic ... effects are difficult to detect'.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 4: baseline performance (tpmC) and shutdown-abort recovery time
+// for every Table 3 configuration, online redo logs only (§5.1).
+//
+// Expected shapes:
+//  - only configurations with high checkpointing rates pay a clear
+//    performance price;
+//  - recovery time falls as checkpoint (and dirty-page write-out) rates
+//    rise; F400G3T1/F100G3T1 recover fast despite few full checkpoints
+//    because the 60 s incremental timeout keeps the dirty set small;
+//  - no shutdown abort loses a committed transaction or breaks integrity.
+#include "bench/bench_common.hpp"
+
+using namespace vdb;
+using namespace vdb::bench;
+
+int main() {
+  print_header(
+      "Figure 4: performance and recovery time (basic recovery mechanism)",
+      "Vieira & Madeira, DSN 2002, Figure 4 / Section 5.1");
+
+  TablePrinter table({"Config", "tpmC (no fault)", "Recovery time (mean)",
+                      "Lost committed", "Integrity violations"});
+  for (const RecoveryConfigSpec& config : table3_configs()) {
+    ExperimentOptions baseline = paper_options(config);
+    const ExperimentResult perf = run_or_die(baseline, config.name);
+
+    double recovery_sum = 0;
+    std::uint64_t lost = 0;
+    std::uint32_t violations = 0;
+    int recovered = 0;
+    for (SimDuration at : injection_instants()) {
+      ExperimentOptions faulty = paper_options(config);
+      faulty.fault = make_fault(faults::FaultType::kShutdownAbort, at);
+      const ExperimentResult r = run_or_die(faulty, config.name);
+      if (r.recovered) {
+        recovery_sum += to_seconds(r.recovery_time);
+        recovered += 1;
+      }
+      lost += r.lost_committed;
+      violations += r.integrity_violations;
+    }
+    table.add_row({config.name, TablePrinter::num(perf.tpmc, 0),
+                   recovered > 0
+                       ? TablePrinter::num(recovery_sum / recovered, 1) + "s"
+                       : "n/a",
+                   std::to_string(lost), std::to_string(violations)});
+  }
+  table.print();
+  std::printf(
+      "\nPaper conclusion reproduced when: lost committed = 0 and integrity\n"
+      "violations = 0 for every configuration, and recovery time shrinks\n"
+      "with checkpoint rate while tpmC only drops for the smallest files.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 7: committed transactions lost at stand-by fail-over, as a
+// function of the online redo file size and group count (§5.3).
+//
+// The standby only ever sees ARCHIVED redo; whatever sits in the primary's
+// current online group when it dies is gone. Expected shape: loss grows
+// with the redo file size (a bigger unarchived window), and the group count
+// barely matters.
+#include "bench/bench_common.hpp"
+
+using namespace vdb;
+using namespace vdb::bench;
+
+int main() {
+  print_header("Figure 7: lost transactions in the stand-by database",
+               "Vieira & Madeira, DSN 2002, Figure 7 / Section 5.3");
+
+  const SimDuration inject_at =
+      quick_mode() ? 150 * kSecond : 600 * kSecond;
+
+  struct Cell {
+    std::uint32_t file_mb;
+    std::uint32_t groups;
+  };
+  const std::vector<Cell> grid = {
+      {1, 2}, {1, 3}, {1, 6}, {10, 2}, {10, 3},
+      {10, 6}, {40, 2}, {40, 3}, {40, 6},
+  };
+
+  TablePrinter table({"Redo file size", "Groups", "Lost committed txns",
+                      "Failover time", "Violations"});
+  for (const Cell& cell : grid) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "F%uG%uT1", cell.file_mb, cell.groups);
+    RecoveryConfigSpec config{name, cell.file_mb, cell.groups, 60};
+    ExperimentOptions opts = paper_options(config);
+    opts.with_standby = true;
+    opts.fault = make_fault(faults::FaultType::kShutdownAbort, inject_at);
+    const ExperimentResult result = run_or_die(opts, name);
+    table.add_row({std::to_string(cell.file_mb) + " MB",
+                   std::to_string(cell.groups),
+                   std::to_string(result.lost_committed),
+                   recovery_cell(result),
+                   std::to_string(result.integrity_violations)});
+  }
+  table.print();
+  std::printf(
+      "\nPaper conclusion reproduced when: losses scale with the redo file\n"
+      "size (the unarchived window) and are nearly independent of the group\n"
+      "count — the reason the paper recommends small redo files for\n"
+      "stand-by configurations.\n");
+  return 0;
+}

@@ -1,0 +1,158 @@
+// Microbenchmarks (google-benchmark): real CPU cost of the hot paths that
+// every simulated experiment exercises millions of times. These guard the
+// wall-clock budget of the paper-reproduction suite.
+#include <benchmark/benchmark.h>
+
+#include "common/codec.hpp"
+#include "common/rng.hpp"
+#include "index/bplus_tree.hpp"
+#include "sim/host.hpp"
+#include "storage/page.hpp"
+#include "tests/test_env.hpp"
+#include "tpcc/schema.hpp"
+#include "tpcc/tpcc_db.hpp"
+#include "tpcc/tpcc_loader.hpp"
+#include "tpcc/tpcc_txns.hpp"
+#include "wal/log_record.hpp"
+
+namespace {
+
+using namespace vdb;
+
+void BM_Crc32c(benchmark::State& state) {
+  std::vector<std::uint8_t> data(static_cast<size_t>(state.range(0)), 0xA5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc32c(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Crc32c)->Arg(256)->Arg(8192);
+
+void BM_PageSlotWrite(benchmark::State& state) {
+  storage::Page page;
+  page.format(TableId{1}, 96);
+  std::vector<std::uint8_t> payload(80, 0x42);
+  std::uint16_t slot = 0;
+  for (auto _ : state) {
+    page.set_slot(slot, payload);
+    slot = static_cast<std::uint16_t>((slot + 1) % page.capacity());
+  }
+}
+BENCHMARK(BM_PageSlotWrite);
+
+void BM_PageChecksum(benchmark::State& state) {
+  storage::Page page;
+  page.format(TableId{1}, 96);
+  for (auto _ : state) {
+    page.update_checksum();
+    benchmark::DoNotOptimize(page.verify_checksum());
+  }
+}
+BENCHMARK(BM_PageChecksum);
+
+void BM_BTreeInsertErase(benchmark::State& state) {
+  index::BPlusTree<std::uint64_t, int> tree;
+  Rng rng(1);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    tree.insert(i, 0);
+    if (i > 1000) tree.erase(i - 1000);
+    ++i;
+  }
+}
+BENCHMARK(BM_BTreeInsertErase);
+
+void BM_BTreeLookup(benchmark::State& state) {
+  index::BPlusTree<std::uint64_t, int> tree;
+  for (std::uint64_t i = 0; i < 100000; ++i) tree.insert(i, 1);
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tree.find(static_cast<std::uint64_t>(rng.uniform(0, 99999))));
+  }
+}
+BENCHMARK(BM_BTreeLookup);
+
+void BM_LogRecordEncodeDecode(benchmark::State& state) {
+  wal::LogRecord rec;
+  rec.type = wal::LogRecordType::kUpdate;
+  rec.txn = TxnId{42};
+  rec.lsn = 1;
+  rec.dml.table = TableId{3};
+  rec.dml.rid = RowId{PageId{FileId{0}, 10}, 5};
+  rec.dml.before.assign(300, 7);
+  rec.dml.after = rec.dml.before;
+  rec.dml.after[120] = 9;
+  for (auto _ : state) {
+    std::vector<std::uint8_t> buf;
+    wal::frame_record(rec, &buf);
+    int count = 0;
+    (void)wal::parse_records(buf, [&](const wal::LogRecord&) {
+      ++count;
+      return true;
+    });
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_LogRecordEncodeDecode);
+
+void BM_CustomerRowCodec(benchmark::State& state) {
+  tpcc::CustomerRow row;
+  row.c_first = "FIRSTNAMEFIRSTNA";
+  row.c_last = "BARBARBAR";
+  row.c_data = std::string(450, 'd');
+  for (auto _ : state) {
+    const auto bytes = tpcc::to_bytes(row);
+    benchmark::DoNotOptimize(tpcc::from_bytes<tpcc::CustomerRow>(bytes));
+  }
+}
+BENCHMARK(BM_CustomerRowCodec);
+
+void BM_EngineInsertCommit(benchmark::State& state) {
+  testing::SimEnv env;
+  testing::SmallDb db(env, testing::small_db_config());
+  std::vector<std::uint8_t> payload(48, 1);
+  for (auto _ : state) {
+    auto txn = db.db->begin();
+    (void)db.db->insert(txn.value(), db.table, payload);
+    (void)db.db->commit(txn.value());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EngineInsertCommit);
+
+void BM_TpccNewOrder(benchmark::State& state) {
+  testing::SimEnv env;
+  engine::DatabaseConfig cfg = testing::small_db_config();
+  cfg.redo.file_size_bytes = 16 * 1024 * 1024;
+  cfg.storage.cache_pages = 2048;
+  auto db = std::make_unique<engine::Database>(&env.host, &env.sched, cfg);
+  VDB_CHECK(db->create().is_ok());
+  VDB_CHECK(db->create_tablespace("TPCC", {{"/data/t1.dbf", 512},
+                                           {"/data/t2.dbf", 512}})
+                .is_ok());
+  auto user = db->create_user("TPCC", false);
+  tpcc::TpccScale scale;
+  scale.warehouses = 1;
+  scale.customers_per_district = 100;
+  scale.items = 1000;
+  scale.initial_orders_per_district = 100;
+  tpcc::TpccDb tdb(scale);
+  VDB_CHECK(tdb.create_schema(*db, "TPCC", user.value()).is_ok());
+  VDB_CHECK(tdb.attach(db.get()).is_ok());
+  tpcc::Loader loader(&tdb, 7);
+  VDB_CHECK(loader.load().is_ok());
+  tpcc::TpccRandom random(Rng{3}, scale);
+  tpcc::TpccTxns txns(&tdb, &random);
+
+  for (auto _ : state) {
+    auto outcome = txns.new_order(1);
+    VDB_CHECK(outcome.is_ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TpccNewOrder);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,42 @@
+// Table 3: the sixteen recovery configurations and the number of (full)
+// checkpoints each produces over a 20-minute TPC-C run.
+//
+// The paper's "# CKPT per experiment" column counts log-switch checkpoints:
+// it is driven by redo volume / file size, which is why F1* configurations
+// land in the hundreds while F400* see one. The incremental-checkpoint
+// column is ours, showing the log_checkpoint_timeout activity that the
+// paper's text credits for F400G3T1's short recovery.
+#include "bench/bench_common.hpp"
+
+using namespace vdb;
+using namespace vdb::bench;
+
+int main() {
+  print_header("Table 3: recovery configurations under test",
+               "Vieira & Madeira, DSN 2002, Table 3");
+
+  TablePrinter table({"Config", "File Size", "Redo Groups", "Ckpt Timeout",
+                      "# CKPT per Experiment", "# Incr. CKPT", "tpmC",
+                      "Redo MB"});
+  for (const RecoveryConfigSpec& config : table3_configs()) {
+    ExperimentOptions opts = paper_options(config);
+    const ExperimentResult result = run_or_die(opts, config.name);
+    table.add_row({config.name,
+                   std::to_string(config.file_mb) + " MB",
+                   std::to_string(config.groups),
+                   std::to_string(config.timeout_sec) + " sec",
+                   std::to_string(result.full_checkpoints),
+                   std::to_string(result.incremental_checkpoints),
+                   TablePrinter::num(result.tpmc, 0),
+                   TablePrinter::num(
+                       static_cast<double>(result.redo_bytes) / (1 << 20),
+                       0)});
+  }
+  table.print();
+  std::printf(
+      "\nShape checks (paper): checkpoint count ~ redo volume / file size;\n"
+      "F400* ~1-2 checkpoints, F1* in the hundreds. The incremental-\n"
+      "checkpoint column is the timeout activity behind the paper's fast\n"
+      "F400G3T1/F100G3T1 recoveries.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Table 5: recovery time for the faults with COMPLETE recovery — shutdown
+// abort, delete datafile, set datafile offline, set tablespace offline —
+// across the eight archive-capable configurations and three injection
+// instants. Complete recovery never loses a committed transaction.
+//
+// Expected shapes:
+//  - shutdown abort: falls with checkpoint/write-out rate, flat across
+//    injection instants (instance recovery replays one checkpoint window);
+//  - delete datafile: grows with injection instant (archived redo since the
+//    backup) and with small archive files;
+//  - set datafile offline: small, shrinks with checkpoint rate;
+//  - set tablespace offline: ~1 second always (OFFLINE NORMAL needs no
+//    recovery).
+#include "bench/bench_common.hpp"
+
+using namespace vdb;
+using namespace vdb::bench;
+
+namespace {
+
+void run_fault(faults::FaultType type, const char* title) {
+  std::printf("-- %s --\n", title);
+  std::vector<std::string> headers{"Config"};
+  for (SimDuration at : injection_instants()) {
+    headers.push_back("Inject " +
+                      std::to_string(static_cast<unsigned>(to_seconds(at))) +
+                      "s");
+  }
+  headers.push_back("Lost (total)");
+  headers.push_back("Violations");
+  TablePrinter table(headers);
+
+  for (const RecoveryConfigSpec& config : archive_configs()) {
+    std::vector<std::string> row{config.name};
+    std::uint64_t lost = 0;
+    std::uint32_t violations = 0;
+    for (SimDuration at : injection_instants()) {
+      ExperimentOptions opts = paper_options(config);
+      opts.archive_mode = true;
+      opts.fault = make_fault(type, at);
+      const ExperimentResult result = run_or_die(opts, config.name);
+      row.push_back(recovery_cell(result));
+      lost += result.lost_committed;
+      violations += result.integrity_violations;
+    }
+    row.push_back(std::to_string(lost));
+    row.push_back(std::to_string(violations));
+    table.add_row(std::move(row));
+  }
+  table.print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  print_header("Table 5: recovery time, faults with complete recovery",
+               "Vieira & Madeira, DSN 2002, Table 5 / Section 5.2");
+  run_fault(faults::FaultType::kShutdownAbort, "Shutdown abort");
+  run_fault(faults::FaultType::kDeleteDatafile, "Delete datafile");
+  run_fault(faults::FaultType::kSetDatafileOffline, "Set datafile offline");
+  run_fault(faults::FaultType::kSetTablespaceOffline,
+            "Set tablespace offline");
+  std::printf(
+      "Paper conclusion reproduced when: every cell shows Lost = 0 and\n"
+      "Violations = 0 (complete recovery), shutdown-abort times fall with\n"
+      "checkpoint rate, delete-datafile times grow with the injection\n"
+      "instant and with small archive files, and set-tablespace-offline is\n"
+      "always about one second.\n");
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Tables 1 & 2: the operator-fault classification — the paper's taxonomy
+// of DBA mistakes and its Oracle-8i instantiation with portability tags.
+#include <cstdio>
+
+#include "common/table_printer.hpp"
+#include "faults/classification.hpp"
+
+using namespace vdb;
+
+int main() {
+  std::printf("\n=== Table 1: classes of DBMS operator faults ===\n\n");
+  TablePrinter classes({"Class", "Description"});
+  for (const auto& cls : faults::fault_classes()) {
+    std::string desc = cls.description;
+    if (desc.size() > 92) desc = desc.substr(0, 89) + "...";
+    classes.add_row({cls.name, desc});
+  }
+  classes.print();
+
+  std::printf(
+      "\n=== Table 2: concrete operator-fault types (Oracle 8i "
+      "instantiation) ===\n\n");
+  TablePrinter types({"Class", "Type of operator fault", "Other DBMS",
+                      "In faultload"});
+  for (const auto& type : faults::fault_types()) {
+    types.add_row({type.fault_class, type.name,
+                   faults::to_string(type.portability),
+                   type.injected_in_benchmark ? "yes (Section 4)" : ""});
+  }
+  types.print();
+
+  std::printf(
+      "\nThe six types marked 'yes' form the benchmark faultload, chosen for\n"
+      "their ability to represent the other types' effects, diversity of\n"
+      "impact, and diversity of required recovery (paper Section 4).\n");
+  return 0;
+}

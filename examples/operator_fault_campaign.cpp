@@ -1,0 +1,67 @@
+// Operator-fault campaign: the dependability benchmark end to end.
+//
+// Runs one experiment per faultload type (paper §4) on a single recovery
+// configuration and prints the dependability report: recovery time, lost
+// committed transactions, and integrity violations — the paper's three
+// recoverability measures.
+//
+// Build & run:  cmake --build build && ./build/examples/operator_fault_campaign
+#include <cstdio>
+
+#include "benchmark/experiment.hpp"
+#include "common/table_printer.hpp"
+
+using namespace vdb;
+using namespace vdb::bench;
+
+int main() {
+  const faults::FaultType faultload[] = {
+      faults::FaultType::kShutdownAbort,
+      faults::FaultType::kDeleteDatafile,
+      faults::FaultType::kDeleteTablespace,
+      faults::FaultType::kSetDatafileOffline,
+      faults::FaultType::kSetTablespaceOffline,
+      faults::FaultType::kDeleteUserObject,
+  };
+
+  std::printf("Operator-fault campaign: config F10G3T1, ARCHIVELOG on,\n"
+              "fault injected 150s into a 6-minute TPC-C run.\n\n");
+
+  TablePrinter report({"Operator fault", "Recovery", "Recovery time",
+                       "Lost committed", "Integrity violations", "tpmC"});
+  for (faults::FaultType type : faultload) {
+    ExperimentOptions opts;
+    opts.config = RecoveryConfigSpec{"F10G3T1", 10, 3, 60};
+    opts.archive_mode = true;
+    opts.duration = 6 * kMinute;
+    faults::FaultSpec fault;
+    fault.type = type;
+    fault.inject_at = 150 * kSecond;
+    opts.fault = fault;
+
+    Experiment experiment(opts);
+    auto result = experiment.run();
+    if (!result.is_ok()) {
+      std::printf("%s: experiment failed: %s\n", to_string(type),
+                  result.status().to_string().c_str());
+      return 1;
+    }
+    const ExperimentResult& r = result.value();
+    report.add_row(
+        {to_string(type),
+         r.recovery_complete ? "complete" : "incomplete",
+         r.recovered ? format_duration(r.recovery_time) : "not in window",
+         std::to_string(r.lost_committed),
+         std::to_string(r.integrity_violations),
+         TablePrinter::num(r.tpmc, 0)});
+  }
+  report.print();
+
+  std::printf(
+      "\nReading the report like the paper does:\n"
+      " - complete-recovery faults lose nothing;\n"
+      " - incomplete recovery (dropped objects) loses only the short tail\n"
+      "   between the fault and its detection;\n"
+      " - and no operator fault causes an integrity violation.\n");
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Stand-by database failover, assembled by hand from the public API:
+// two hosts, a network link, archive shipping, a primary crash, and an
+// activation — showing exactly which committed transactions survive.
+//
+// Build & run:  cmake --build build && ./build/examples/standby_failover
+#include <cstdio>
+
+#include "recovery/backup.hpp"
+#include "sim/network.hpp"
+#include "standby/standby.hpp"
+#include "tpcc/consistency.hpp"
+#include "tpcc/tpcc_db.hpp"
+#include "tpcc/tpcc_driver.hpp"
+#include "tpcc/tpcc_loader.hpp"
+
+using namespace vdb;
+
+namespace {
+
+void add_disks(sim::Host& host) {
+  host.add_disk("/data");
+  host.add_disk("/redo");
+  host.add_disk("/arch");
+  host.add_disk("/backup");
+}
+
+}  // namespace
+
+int main() {
+  // Two machines sharing one virtual clock, joined by a network link —
+  // the paper's testbed.
+  sim::VirtualClock clock;
+  sim::Scheduler sched(&clock);
+  sim::Host primary_host("primary", &clock);
+  sim::Host standby_host("standby", &clock);
+  add_disks(primary_host);
+  add_disks(standby_host);
+  sim::NetworkLink link;
+
+  engine::DatabaseConfig cfg;
+  cfg.redo.file_size_bytes = 1 * 1024 * 1024;  // small: little exposed redo
+  cfg.redo.groups = 3;
+  cfg.redo.archive_mode = true;  // a standby requires ARCHIVELOG
+  cfg.checkpoint_timeout = 60 * kSecond;
+
+  // Primary with a loaded TPC-C database.
+  auto primary = std::make_unique<engine::Database>(&primary_host, &sched,
+                                                    cfg);
+  VDB_CHECK(primary->create().is_ok());
+  VDB_CHECK(primary->create_tablespace("TPCC", {{"/data/tpcc01.dbf", 512},
+                                                {"/data/tpcc02.dbf", 512}})
+                .is_ok());
+  auto user = primary->create_user("TPCC", false);
+  VDB_CHECK(user.is_ok());
+
+  tpcc::TpccScale scale;
+  scale.warehouses = 1;
+  scale.customers_per_district = 100;
+  scale.items = 1000;
+  scale.initial_orders_per_district = 100;
+  tpcc::TpccDb tdb(scale);
+  VDB_CHECK(tdb.create_schema(*primary, "TPCC", user.value()).is_ok());
+  VDB_CHECK(tdb.attach(primary.get()).is_ok());
+  tpcc::Loader loader(&tdb, 2002);
+  VDB_CHECK(loader.load().is_ok());
+
+  // Instantiate the standby from a backup and wire archive shipping.
+  recovery::BackupManager backups(&primary_host.fs(), "/backup");
+  standby::StandbyConfig scfg;
+  scfg.db = cfg;
+  standby::StandbyDatabase standby(&standby_host, &sched, scfg, &link);
+  VDB_CHECK(standby.instantiate_from(*primary, backups).is_ok());
+  primary->archiver().on_archived = [&](const std::string& path,
+                                        std::uint64_t seq, SimTime done_at) {
+    standby.on_primary_archive(primary_host.fs(), path, seq, done_at);
+  };
+
+  // Run the workload, then pull the plug on the primary.
+  tpcc::Driver driver(&tdb, &sched, tpcc::DriverConfig{2002});
+  const SimTime start = clock.now();
+  VDB_CHECK(driver.run_until(start + 3 * kMinute).is_ok());
+  std::printf("primary processed %llu commits; standby applied %llu archives\n",
+              static_cast<unsigned long long>(driver.stats().committed),
+              static_cast<unsigned long long>(standby.archives_applied()));
+
+  VDB_CHECK(primary->shutdown_abort().is_ok());
+  std::printf("primary crashed at t=%s\n",
+              format_duration(clock.now() - start).c_str());
+
+  // Failover: clients reattach to the standby.
+  VDB_CHECK(tdb.attach(&standby.db()).is_ok());
+  const SimTime failover_start = clock.now();
+  auto activation = standby.activate();
+  VDB_CHECK(activation.is_ok());
+  std::printf("standby active after %s; applied up to LSN %llu\n",
+              format_duration(clock.now() - failover_start).c_str(),
+              static_cast<unsigned long long>(
+                  activation.value().recovered_to));
+
+  const std::uint64_t lost =
+      driver.count_lost(activation.value().recovered_to, clock.now());
+  std::printf("committed transactions lost on failover: %llu "
+              "(the primary's unarchived redo tail)\n",
+              static_cast<unsigned long long>(lost));
+
+  // The surviving state passes every TPC-C consistency condition.
+  tpcc::ConsistencyChecker checker(&tdb);
+  auto report = checker.run_all();
+  VDB_CHECK(report.is_ok());
+  std::printf("consistency: %u checks, %u violations\n",
+              report.value().checks_run, report.value().violations);
+
+  // And the new primary takes transactions.
+  VDB_CHECK(driver.run_until(clock.now() + 30 * kSecond).is_ok());
+  std::printf("workload resumed on the standby: %llu total commits\n",
+              static_cast<unsigned long long>(driver.stats().committed));
+  return report.value().violations == 0 ? 0 : 1;
+}

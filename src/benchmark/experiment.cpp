@@ -1,0 +1,325 @@
+#include "benchmark/experiment.hpp"
+
+#include <limits>
+
+#include "engine/database.hpp"
+#include "recovery/backup.hpp"
+#include "recovery/recovery_manager.hpp"
+#include "sim/host.hpp"
+#include "sim/network.hpp"
+#include "standby/standby.hpp"
+#include "tpcc/consistency.hpp"
+#include "tpcc/tpcc_db.hpp"
+#include "tpcc/tpcc_driver.hpp"
+#include "tpcc/tpcc_loader.hpp"
+
+namespace vdb::bench {
+
+namespace {
+
+void add_standard_disks(sim::Host& host) {
+  // The paper's testbed: four disks per server. Data, online redo, archive
+  // destination, and backup area each get their own device.
+  host.add_disk("/data");
+  host.add_disk("/redo");
+  host.add_disk("/arch");
+  host.add_disk("/backup");
+}
+
+engine::DatabaseConfig make_db_config(const ExperimentOptions& opts) {
+  engine::DatabaseConfig cfg;
+  cfg.name = "tpcc";
+  cfg.redo.file_size_bytes =
+      static_cast<std::uint64_t>(opts.config.file_mb) * 1024 * 1024;
+  cfg.redo.groups = opts.config.groups;
+  cfg.redo.archive_mode = opts.archive_mode || opts.with_standby;
+  cfg.checkpoint_timeout =
+      static_cast<SimDuration>(opts.config.timeout_sec) * kSecond;
+  cfg.storage.cache_pages = opts.cache_pages;
+  return cfg;
+}
+
+}  // namespace
+
+Result<ExperimentResult> Experiment::run() {
+  sim::VirtualClock clock;
+  sim::Scheduler sched(&clock);
+  sim::Host primary("primary", &clock);
+  add_standard_disks(primary);
+
+  const engine::DatabaseConfig cfg = make_db_config(opts_);
+  auto db = std::make_unique<engine::Database>(&primary, &sched, cfg);
+  VDB_RETURN_IF_ERROR(db->create());
+
+  // TPCC tablespace spread over the data disk's files.
+  std::vector<std::pair<std::string, std::uint32_t>> files;
+  for (std::uint32_t i = 0; i < opts_.datafiles; ++i) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "/data/tpcc%02u.dbf", i + 1);
+    files.emplace_back(buf, opts_.datafile_blocks);
+  }
+  auto ts = db->create_tablespace("TPCC", files);
+  if (!ts.is_ok()) return ts.status();
+  auto user = db->create_user("TPCC", /*is_dba=*/false);
+  if (!user.is_ok()) return user.status();
+
+  tpcc::TpccDb tdb(opts_.scale);
+  VDB_RETURN_IF_ERROR(tdb.create_schema(*db, "TPCC", user.value()));
+  VDB_RETURN_IF_ERROR(tdb.attach(db.get()));
+  tpcc::Loader loader(&tdb, opts_.seed ^ 0x10ad5eedull);
+  auto load = loader.load();
+  if (!load.is_ok()) return load.status();
+
+  recovery::BackupManager backups(&primary.fs(), "/backup");
+  recovery::RecoveryManager rm(&primary, &sched, &backups);
+
+  std::unique_ptr<sim::Host> standby_host;
+  std::unique_ptr<sim::NetworkLink> link;
+  std::unique_ptr<standby::StandbyDatabase> sb;
+  if (opts_.with_standby) {
+    standby_host = std::make_unique<sim::Host>("standby", &clock);
+    add_standard_disks(*standby_host);
+    link = std::make_unique<sim::NetworkLink>();
+    standby::StandbyConfig scfg;
+    scfg.db = cfg;
+    sb = std::make_unique<standby::StandbyDatabase>(standby_host.get(),
+                                                    &sched, scfg, link.get());
+    VDB_RETURN_IF_ERROR(sb->instantiate_from(*db, backups));
+    db->archiver().on_archived = [&](const std::string& path,
+                                     std::uint64_t seq, SimTime done_at) {
+      sb->on_primary_archive(primary.fs(), path, seq, done_at);
+    };
+  } else {
+    auto backup = backups.take_backup(*db);
+    if (!backup.is_ok()) return backup.status();
+  }
+
+  tpcc::DriverConfig dcfg;
+  dcfg.seed = opts_.seed;
+  tpcc::Driver driver(&tdb, &sched, dcfg);
+
+  const SimTime start = clock.now();
+  const SimTime end = start + opts_.duration;
+  ExperimentResult result;
+  result.workload_start = start;
+
+  const Lsn redo_start_lsn = db->redo().next_lsn();
+  auto accumulate_engine = [&](engine::Database& d) {
+    result.full_checkpoints += d.stats().full_checkpoints;
+    result.incremental_checkpoints += d.stats().incremental_checkpoints;
+    result.log_switches += d.redo().switch_count();
+    result.log_stall_time += d.redo().stall_time();
+  };
+
+  if (!opts_.fault.has_value()) {
+    Status st = driver.run_until(end);
+    if (!st.is_ok()) {
+      return make_error(st.code(),
+                        "workload failed without fault: " + st.message());
+    }
+  } else {
+    const faults::FaultSpec& fault = *opts_.fault;
+    const SimTime fault_time = start + fault.inject_at;
+
+    if (opts_.latent_fault.has_value()) {
+      const SimTime latent_time =
+          std::min(start + opts_.latent_inject_at, fault_time);
+      Status pre = driver.run_until(latent_time);
+      if (!pre.is_ok()) {
+        return make_error(pre.code(),
+                          "pre-latent workload failed: " + pre.message());
+      }
+      faults::ExtendedFaultInjector latent_injector(&backups);
+      VDB_RETURN_IF_ERROR(latent_injector.inject(*db, *opts_.latent_fault));
+    }
+
+    Status st = driver.run_until(fault_time);
+    if (!st.is_ok()) {
+      return make_error(st.code(), "pre-fault workload failed: " + st.message());
+    }
+
+    faults::FaultInjector injector;
+    // Resolve the datafile target before the fault destroys metadata.
+    FileId target_file = FileId::invalid();
+    if (fault.type == faults::FaultType::kDeleteDatafile ||
+        fault.type == faults::FaultType::kSetDatafileOffline) {
+      auto fid = faults::FaultInjector::target_datafile(*db, fault);
+      if (!fid.is_ok()) return fid.status();
+      target_file = fid.value();
+    }
+    VDB_RETURN_IF_ERROR(injector.inject(*db, fault));
+    result.fault_injected = true;
+    result.fault_time = clock.now();
+
+    // Run on: the failure surfaces at the end-user when a transaction hits
+    // the damage.
+    Status failure = driver.run_until(end);
+    if (failure.is_ok()) {
+      // The fault never became user-visible within the window (does not
+      // happen for the six benchmark faults, but keep the accounting sane).
+      result.recovered = true;
+    } else {
+      const SimTime failure_time = clock.now();
+      result.detection_delay = opts_.detection_time;
+      clock.advance_by(opts_.detection_time);
+      const SimTime recovery_start = clock.now();
+
+      Lsn recovered_to = std::numeric_limits<Lsn>::max();  // complete
+      bool procedure_ok = true;
+
+      if (opts_.with_standby) {
+        // Fail over to the stand-by, whatever the fault was (§5.3). The
+        // broken primary is powered off.
+        if (db->is_open()) (void)db->shutdown_abort();
+        VDB_RETURN_IF_ERROR(tdb.attach(&sb->db()));
+        auto act = sb->activate();
+        if (!act.is_ok()) {
+          procedure_ok = false;
+        } else {
+          recovered_to = act.value().recovered_to;
+          result.recovery_complete = false;  // unarchived tail is lost
+          result.archives_read = act.value().archives_applied;
+        }
+      } else {
+        switch (faults::recovery_kind(fault.type)) {
+          case faults::RecoveryKind::kInstanceRestart: {
+            accumulate_engine(*db);
+            auto fresh =
+                std::make_unique<engine::Database>(&primary, &sched, cfg);
+            fresh->set_on_mounted(
+                [&](engine::Database& d) { (void)tdb.attach(&d); });
+            Status up = fresh->startup();
+            if (!up.is_ok()) {
+              procedure_ok = false;
+            } else {
+              db = std::move(fresh);
+            }
+            break;
+          }
+          case faults::RecoveryKind::kMediaRecovery: {
+            auto rep = rm.recover_datafile(*db, target_file);
+            if (rep.is_ok()) {
+              result.archives_read = rep.value().archives_read;
+            } else if (rep.code() == ErrorCode::kUnrecoverable) {
+              // §5.1: without a usable redo chain the only option is going
+              // back to the last backup — losing everything since.
+              accumulate_engine(*db);
+              if (db->is_open()) (void)db->shutdown_abort();
+              auto pit = rm.restore_to_backup(
+                  cfg, [&](engine::Database& d) { (void)tdb.attach(&d); });
+              if (!pit.is_ok()) {
+                procedure_ok = false;
+              } else {
+                db = std::move(pit.value().db);
+                recovered_to = pit.value().report.recovered_to;
+                result.recovery_complete = false;
+              }
+            } else {
+              procedure_ok = false;
+            }
+            break;
+          }
+          case faults::RecoveryKind::kDatafileRollForward: {
+            auto rep = rm.recover_datafile_online(*db, target_file);
+            if (!rep.is_ok()) procedure_ok = false;
+            break;
+          }
+          case faults::RecoveryKind::kTablespaceOnline: {
+            // The DBA types one ALTER TABLESPACE ... ONLINE.
+            clock.advance_by(800 * kMillisecond);
+            Status online = db->alter_tablespace_online(fault.tablespace);
+            if (!online.is_ok()) procedure_ok = false;
+            break;
+          }
+          case faults::RecoveryKind::kPointInTime: {
+            accumulate_engine(*db);
+            if (db->is_open()) (void)db->shutdown_abort();
+            auto stop =
+                fault.type == faults::FaultType::kDeleteTablespace
+                    ? recovery::stop_before_drop_tablespace(fault.tablespace)
+                    : recovery::stop_before_drop_table(fault.table);
+            auto pit = rm.point_in_time_recover(
+                cfg, stop, [&](engine::Database& d) { (void)tdb.attach(&d); });
+            if (!pit.is_ok()) {
+              procedure_ok = false;
+            } else {
+              db = std::move(pit.value().db);
+              recovered_to = pit.value().report.recovered_to;
+              result.archives_read = pit.value().report.archives_read;
+              result.recovery_complete = false;
+            }
+            break;
+          }
+        }
+      }
+
+      if (!procedure_ok) {
+        // Nothing was recovered: every committed write transaction is lost.
+        recovered_to = 0;
+        result.recovery_complete = false;
+      }
+      result.lost_committed = driver.count_lost(recovered_to, failure_time);
+
+      if (procedure_ok) {
+        // "Recovery time" ends when transaction processing is reestablished
+        // from the end-user's point of view: the first commit after the
+        // procedure started.
+        const size_t commits_before = driver.commits().size();
+        Status resume = driver.run_until(end);
+        if (driver.commits().size() > commits_before) {
+          result.recovered = true;
+          result.recovery_time =
+              driver.commits()[commits_before].commit_time - recovery_start;
+        } else {
+          // Out of experiment window before service came back — the
+          // paper's ">600 s" cells.
+          result.recovered = false;
+          result.recovery_time = end > recovery_start ? end - recovery_start
+                                                      : 0;
+        }
+        if (!resume.is_ok() && clock.now() < end) {
+          return make_error(resume.code(),
+                            "post-recovery workload failed: " +
+                                resume.message());
+        }
+      } else {
+        result.recovered = false;
+        result.recovery_time = end > recovery_start ? end - recovery_start : 0;
+      }
+    }
+  }
+
+  // Collect measures.
+  engine::Database* final_db =
+      (opts_.with_standby && sb->active()) ? &sb->db() : db.get();
+  if (final_db == db.get()) {
+    accumulate_engine(*db);
+  } else {
+    accumulate_engine(*db);
+    // The activated standby's own engine stats are not part of the primary
+    // configuration under test.
+  }
+  result.redo_bytes = db->redo().next_lsn() - redo_start_lsn;
+
+  result.tpmc = driver.tpmc(start, end);
+  result.tpm_total = driver.tpm_total(start, end);
+  result.committed = driver.stats().committed;
+  result.intentional_rollbacks = driver.stats().intentional_rollbacks;
+  result.failed_attempts = driver.stats().failed_attempts;
+  result.series = driver.series();
+  result.series_interval = driver.series_interval();
+
+  if (final_db->is_open()) {
+    tpcc::ConsistencyChecker checker(&tdb);
+    auto report = checker.run_all();
+    if (!report.is_ok()) return report.status();
+    result.integrity_checks = report.value().checks_run;
+    result.integrity_violations = report.value().violations;
+    for (const auto& msg : report.value().messages) {
+      std::fprintf(stderr, "[integrity] %s\n", msg.c_str());
+    }
+  }
+  return result;
+}
+
+}  // namespace vdb::bench

@@ -1,0 +1,101 @@
+// The dependability-benchmark experiment runner — the paper's core
+// contribution, as an executable harness.
+//
+// One experiment = the paper's §4 procedure: build the environment (two
+// hosts, four disks each, network link), create and populate the TPC-C
+// database under a given recovery configuration, take the reference backup
+// (and instantiate the stand-by when configured), run the TPC-C workload
+// for 20 simulated minutes, optionally inject one operator fault at its
+// trigger instant, detect the failure from the driver's (end-user's) point
+// of view, wait the fixed detection time, run the fault's recovery
+// procedure, and resume the workload.
+//
+// Measures (all end-user view, per the paper):
+//  - performance: tpmC and the per-interval throughput series;
+//  - recovery time: recovery-procedure start → first post-recovery commit;
+//  - lost transactions: committed before the failure, commit LSN above
+//    what recovery salvaged;
+//  - integrity violations: TPC-C consistency conditions on the recovered
+//    data.
+#pragma once
+
+#include <optional>
+
+#include "benchmark/recovery_configs.hpp"
+#include "common/status.hpp"
+#include "faults/extended_faults.hpp"
+#include "faults/fault_injector.hpp"
+#include "tpcc/tpcc_random.hpp"
+
+namespace vdb::bench {
+
+struct ExperimentOptions {
+  RecoveryConfigSpec config{"F40G3T10", 40, 3, 600};
+  bool archive_mode = false;
+  bool with_standby = false;
+  std::optional<faults::FaultSpec> fault;
+  /// Optional latent first fault (extension: the paper's two-fault
+  /// experiments). Injected at `latent_inject_at`; typically invisible
+  /// until `fault` needs the mechanism it broke.
+  std::optional<faults::ExtendedFaultSpec> latent_fault;
+  SimDuration latent_inject_at = 60 * kSecond;
+  SimDuration duration = 20 * kMinute;
+  /// Fixed operator detection time before the recovery procedure starts
+  /// (the paper's "typical detection time"; excluded from recovery time).
+  SimDuration detection_time = 10 * kSecond;
+  tpcc::TpccScale scale{};
+  std::uint64_t seed = 12345;
+  std::uint32_t datafiles = 2;
+  std::uint32_t datafile_blocks = 512;  // initial size; files autoextend
+  /// Buffer cache frames (the SGA sizing knob; ablation target).
+  std::uint32_t cache_pages = 2048;
+};
+
+struct ExperimentResult {
+  // Performance.
+  double tpmc = 0;       // New-Order commits per minute over the run
+  double tpm_total = 0;  // all commits per minute
+  std::uint64_t committed = 0;
+  std::uint64_t intentional_rollbacks = 0;
+  std::uint64_t failed_attempts = 0;
+  std::vector<std::uint32_t> series;  // New-Order commits per interval
+  SimDuration series_interval = 0;
+
+  // Engine behaviour.
+  std::uint64_t full_checkpoints = 0;  // Table 3's "# CKPT per experiment"
+  std::uint64_t incremental_checkpoints = 0;
+  std::uint64_t log_switches = 0;
+  SimDuration log_stall_time = 0;
+  std::uint64_t redo_bytes = 0;  // charged redo volume generated
+
+  // Recovery measures.
+  bool fault_injected = false;
+  bool recovered = false;           // service restored within the window
+  bool recovery_complete = true;    // false = incomplete (lossy) recovery
+  SimDuration recovery_time = 0;    // procedure start → first commit
+  SimDuration detection_delay = 0;  // failure surfaced → procedure start
+  std::uint64_t lost_committed = 0;
+  std::uint64_t archives_read = 0;
+
+  // Integrity.
+  std::uint32_t integrity_checks = 0;
+  std::uint32_t integrity_violations = 0;
+
+  SimTime workload_start = 0;
+  SimTime fault_time = 0;
+};
+
+class Experiment {
+ public:
+  explicit Experiment(ExperimentOptions opts) : opts_(std::move(opts)) {}
+
+  /// Builds the whole environment, runs the experiment, returns measures.
+  /// An error return means the *benchmark harness* failed (not the system
+  /// under test) — unrecoverable faults are reported in the result.
+  Result<ExperimentResult> run();
+
+ private:
+  ExperimentOptions opts_;
+};
+
+}  // namespace vdb::bench

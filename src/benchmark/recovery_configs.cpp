@@ -1,0 +1,44 @@
+#include "benchmark/recovery_configs.hpp"
+
+#include <cstring>
+
+namespace vdb::bench {
+
+namespace {
+
+constexpr RecoveryConfigSpec kConfigs[] = {
+    {"F400G3T20", 400, 3, 1200},
+    {"F400G3T10", 400, 3, 600},
+    {"F400G3T5", 400, 3, 300},
+    {"F400G3T1", 400, 3, 60},
+    {"F100G3T20", 100, 3, 1200},
+    {"F100G3T10", 100, 3, 600},
+    {"F100G3T5", 100, 3, 300},
+    {"F100G3T1", 100, 3, 60},
+    {"F40G3T10", 40, 3, 600},
+    {"F40G3T5", 40, 3, 300},
+    {"F40G3T1", 40, 3, 60},
+    {"F10G3T5", 10, 3, 300},
+    {"F10G3T1", 10, 3, 60},
+    {"F1G6T1", 1, 6, 60},
+    {"F1G3T1", 1, 3, 60},
+    {"F1G2T1", 1, 2, 60},
+};
+
+}  // namespace
+
+std::span<const RecoveryConfigSpec> table3_configs() { return kConfigs; }
+
+std::span<const RecoveryConfigSpec> archive_configs() {
+  // F40G3T10 .. F1G2T1 — the last eight entries.
+  return std::span<const RecoveryConfigSpec>(kConfigs).subspan(8);
+}
+
+const RecoveryConfigSpec* find_config(const std::string& name) {
+  for (const auto& cfg : kConfigs) {
+    if (name == cfg.name) return &cfg;
+  }
+  return nullptr;
+}
+
+}  // namespace vdb::bench

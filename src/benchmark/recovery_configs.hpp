@@ -1,0 +1,35 @@
+// The paper's Table 3: the sixteen recovery configurations under test.
+//
+// Names encode the knobs: F<file MB>G<groups>T<timeout minutes>. The redo
+// file size and group count shape log switching (and therefore the
+// log-switch checkpoint count), the timeout shapes incremental
+// checkpointing — together they span the performance/recovery trade-off
+// space the paper explores.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace vdb::bench {
+
+struct RecoveryConfigSpec {
+  const char* name;
+  std::uint32_t file_mb;
+  std::uint32_t groups;
+  std::uint32_t timeout_sec;
+};
+
+/// All sixteen configurations of Table 3, in the paper's order.
+std::span<const RecoveryConfigSpec> table3_configs();
+
+/// The eight configurations used for the archive-log and stand-by
+/// experiments (§5.2: F40G3T10 … F1G2T1 — larger files would not archive
+/// within a 20-minute run).
+std::span<const RecoveryConfigSpec> archive_configs();
+
+const RecoveryConfigSpec* find_config(const std::string& name);
+
+}  // namespace vdb::bench

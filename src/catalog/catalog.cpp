@@ -1,0 +1,244 @@
+#include "catalog/catalog.hpp"
+
+#include <algorithm>
+
+namespace vdb::catalog {
+
+Result<UserId> Catalog::create_user(const std::string& name, bool is_dba) {
+  for (const auto& [id, user] : users_) {
+    if (user.name == name) {
+      return make_error(ErrorCode::kAlreadyExists, "user " + name);
+    }
+  }
+  UserDef user;
+  user.id = UserId{next_user_id_++};
+  user.name = name;
+  user.is_dba = is_dba;
+  const UserId id = user.id;
+  users_[id.value] = std::move(user);
+  return id;
+}
+
+Status Catalog::drop_user(const std::string& name) {
+  for (auto it = users_.begin(); it != users_.end(); ++it) {
+    if (it->second.name == name) {
+      users_.erase(it);
+      return Status::ok();
+    }
+  }
+  return make_error(ErrorCode::kNotFound, "user " + name);
+}
+
+Result<const UserDef*> Catalog::find_user(const std::string& name) const {
+  for (const auto& [id, user] : users_) {
+    if (user.name == name) return &user;
+  }
+  return make_error(ErrorCode::kNotFound, "user " + name);
+}
+
+Result<TableId> Catalog::create_table(const std::string& name,
+                                      TablespaceId ts,
+                                      std::uint16_t slot_size, UserId owner,
+                                      std::vector<ColumnDef> columns) {
+  auto existing = find_table(name);
+  if (existing.is_ok()) {
+    return make_error(ErrorCode::kAlreadyExists, "table " + name);
+  }
+  TableDef def;
+  def.id = TableId{next_table_id_++};
+  def.name = name;
+  def.tablespace = ts;
+  def.slot_size = slot_size;
+  def.owner = owner;
+  def.columns = std::move(columns);
+  const TableId id = def.id;
+  tables_[id.value] = std::move(def);
+  return id;
+}
+
+Status Catalog::create_table_with_id(TableId id, const std::string& name,
+                                     TablespaceId ts, std::uint16_t slot_size,
+                                     UserId owner) {
+  if (tables_.contains(id.value)) {
+    return make_error(ErrorCode::kAlreadyExists, "table id in use");
+  }
+  TableDef def;
+  def.id = id;
+  def.name = name;
+  def.tablespace = ts;
+  def.slot_size = slot_size;
+  def.owner = owner;
+  tables_[id.value] = std::move(def);
+  next_table_id_ = std::max(next_table_id_, id.value + 1);
+  return Status::ok();
+}
+
+Status Catalog::drop_table(TableId id) {
+  if (tables_.erase(id.value) == 0) {
+    return make_error(ErrorCode::kNotFound, "no such table");
+  }
+  return Status::ok();
+}
+
+Status Catalog::set_logging(TableId id, bool logging) {
+  auto it = tables_.find(id.value);
+  if (it == tables_.end()) {
+    return make_error(ErrorCode::kNotFound, "no such table");
+  }
+  it->second.logging = logging;
+  return Status::ok();
+}
+
+Result<const TableDef*> Catalog::find_table(const std::string& name) const {
+  for (const auto& [id, table] : tables_) {
+    if (table.name == name) return &table;
+  }
+  return make_error(ErrorCode::kNotFound, "table " + name);
+}
+
+Result<const TableDef*> Catalog::find_table(TableId id) const {
+  auto it = tables_.find(id.value);
+  if (it == tables_.end()) {
+    return make_error(ErrorCode::kNotFound, "no such table");
+  }
+  return &it->second;
+}
+
+std::vector<const TableDef*> Catalog::tables() const {
+  std::vector<const TableDef*> out;
+  out.reserve(tables_.size());
+  for (const auto& [id, table] : tables_) out.push_back(&table);
+  std::sort(out.begin(), out.end(), [](const TableDef* a, const TableDef* b) {
+    return a->id.value < b->id.value;
+  });
+  return out;
+}
+
+std::vector<const TableDef*> Catalog::tables_in(TablespaceId ts) const {
+  std::vector<const TableDef*> out;
+  for (const TableDef* table : tables()) {
+    if (table->tablespace == ts) out.push_back(table);
+  }
+  return out;
+}
+
+std::vector<const UserDef*> Catalog::users() const {
+  std::vector<const UserDef*> out;
+  out.reserve(users_.size());
+  for (const auto& [id, user] : users_) out.push_back(&user);
+  std::sort(out.begin(), out.end(), [](const UserDef* a, const UserDef* b) {
+    return a->id.value < b->id.value;
+  });
+  return out;
+}
+
+void Catalog::encode(Encoder& enc) const {
+  enc.put_u32(next_table_id_);
+  enc.put_u32(next_user_id_);
+  const auto all_users = users();
+  enc.put_u32(static_cast<std::uint32_t>(all_users.size()));
+  for (const UserDef* user : all_users) {
+    enc.put_u32(user->id.value);
+    enc.put_string(user->name);
+    enc.put_u8(user->is_dba ? 1 : 0);
+    enc.put_u32(static_cast<std::uint32_t>(user->quotas.size()));
+    for (const auto& [ts, quota] : user->quotas) {
+      enc.put_u32(ts.value);
+      enc.put_u32(quota);
+    }
+  }
+  const auto all_tables = tables();
+  enc.put_u32(static_cast<std::uint32_t>(all_tables.size()));
+  for (const TableDef* table : all_tables) {
+    enc.put_u32(table->id.value);
+    enc.put_string(table->name);
+    enc.put_u32(table->tablespace.value);
+    enc.put_u16(table->slot_size);
+    enc.put_u32(table->owner.value);
+    enc.put_u8(table->logging ? 1 : 0);
+    enc.put_u32(static_cast<std::uint32_t>(table->columns.size()));
+    for (const ColumnDef& col : table->columns) {
+      enc.put_string(col.name);
+      enc.put_u8(static_cast<std::uint8_t>(col.type));
+    }
+  }
+}
+
+Result<Catalog> Catalog::decode(Decoder& dec) {
+  Catalog cat;
+  auto next_table = dec.get_u32();
+  auto next_user = dec.get_u32();
+  auto user_count = dec.get_u32();
+  if (!next_table.is_ok() || !next_user.is_ok() || !user_count.is_ok()) {
+    return Status{ErrorCode::kCorruption, "bad catalog header"};
+  }
+  cat.next_table_id_ = next_table.value();
+  cat.next_user_id_ = next_user.value();
+  for (std::uint32_t i = 0; i < user_count.value(); ++i) {
+    UserDef user;
+    auto id = dec.get_u32();
+    auto name = dec.get_string();
+    auto dba = dec.get_u8();
+    auto quota_count = dec.get_u32();
+    if (!id.is_ok() || !name.is_ok() || !dba.is_ok() || !quota_count.is_ok()) {
+      return Status{ErrorCode::kCorruption, "bad user entry"};
+    }
+    user.id = UserId{id.value()};
+    user.name = std::move(name).value();
+    user.is_dba = dba.value() != 0;
+    for (std::uint32_t q = 0; q < quota_count.value(); ++q) {
+      auto ts = dec.get_u32();
+      auto quota = dec.get_u32();
+      if (!ts.is_ok() || !quota.is_ok()) {
+        return Status{ErrorCode::kCorruption, "bad quota entry"};
+      }
+      user.quotas[TablespaceId{ts.value()}] = quota.value();
+    }
+    cat.users_[user.id.value] = std::move(user);
+  }
+  auto table_count = dec.get_u32();
+  if (!table_count.is_ok()) {
+    return Status{ErrorCode::kCorruption, "bad table count"};
+  }
+  for (std::uint32_t i = 0; i < table_count.value(); ++i) {
+    TableDef table;
+    auto id = dec.get_u32();
+    auto name = dec.get_string();
+    auto ts = dec.get_u32();
+    auto slot = dec.get_u16();
+    auto owner = dec.get_u32();
+    auto logging = dec.get_u8();
+    auto col_count = dec.get_u32();
+    if (!id.is_ok() || !name.is_ok() || !ts.is_ok() || !slot.is_ok() ||
+        !owner.is_ok() || !logging.is_ok() || !col_count.is_ok()) {
+      return Status{ErrorCode::kCorruption, "bad table entry"};
+    }
+    table.id = TableId{id.value()};
+    table.name = std::move(name).value();
+    table.tablespace = TablespaceId{ts.value()};
+    table.slot_size = slot.value();
+    table.owner = UserId{owner.value()};
+    table.logging = logging.value() != 0;
+    for (std::uint32_t c = 0; c < col_count.value(); ++c) {
+      auto col_name = dec.get_string();
+      auto col_type = dec.get_u8();
+      if (!col_name.is_ok() || !col_type.is_ok()) {
+        return Status{ErrorCode::kCorruption, "bad column entry"};
+      }
+      table.columns.push_back(ColumnDef{
+          std::move(col_name).value(),
+          static_cast<ColumnType>(col_type.value())});
+    }
+    cat.tables_[table.id.value] = std::move(table);
+  }
+  return cat;
+}
+
+void Catalog::clear() {
+  tables_.clear();
+  users_.clear();
+  next_table_id_ = 1;
+  next_user_id_ = 1;
+}
+
+}  // namespace vdb::catalog

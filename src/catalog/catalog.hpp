@@ -1,0 +1,86 @@
+// System catalog: users, tables, and their storage attributes.
+//
+// The catalog is snapshotted into the control file at every checkpoint and
+// kept current across crashes by replaying DDL redo records — the moral
+// equivalent of Oracle's data dictionary. Object ownership matters to the
+// faultload: "delete any user's database object" and "delete a database
+// user" are catalogued operator-fault types.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/codec.hpp"
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace vdb::catalog {
+
+enum class ColumnType : std::uint8_t { kInt = 1, kDouble = 2, kString = 3 };
+
+struct ColumnDef {
+  std::string name;
+  ColumnType type = ColumnType::kInt;
+};
+
+struct TableDef {
+  TableId id{};
+  std::string name;
+  TablespaceId tablespace{};
+  std::uint16_t slot_size = 0;  // max serialized row size
+  UserId owner{};
+  std::vector<ColumnDef> columns;
+  /// NOLOGGING tables skip redo for bulk loads (the paper's "set the
+  /// NOLOGGING option in tables" fault type; also how the TPC-C loader
+  /// populates before the initial backup).
+  bool logging = true;
+};
+
+struct UserDef {
+  UserId id{};
+  std::string name;
+  bool is_dba = false;
+  /// Space quota in blocks per tablespace (0 entry = unlimited).
+  std::unordered_map<TablespaceId, std::uint32_t> quotas;
+};
+
+class Catalog {
+ public:
+  Result<UserId> create_user(const std::string& name, bool is_dba);
+  Status drop_user(const std::string& name);
+  Result<const UserDef*> find_user(const std::string& name) const;
+
+  Result<TableId> create_table(const std::string& name, TablespaceId ts,
+                               std::uint16_t slot_size, UserId owner,
+                               std::vector<ColumnDef> columns = {});
+
+  /// Re-creates a table under a specific id (DDL replay).
+  Status create_table_with_id(TableId id, const std::string& name,
+                              TablespaceId ts, std::uint16_t slot_size,
+                              UserId owner);
+
+  Status drop_table(TableId id);
+  Status set_logging(TableId id, bool logging);
+
+  Result<const TableDef*> find_table(const std::string& name) const;
+  Result<const TableDef*> find_table(TableId id) const;
+  std::vector<const TableDef*> tables() const;
+  std::vector<const TableDef*> tables_in(TablespaceId ts) const;
+  std::vector<const UserDef*> users() const;
+
+  void encode(Encoder& enc) const;
+  static Result<Catalog> decode(Decoder& dec);
+
+  void clear();
+
+ private:
+  std::uint32_t next_table_id_ = 1;
+  std::uint32_t next_user_id_ = 1;
+  std::unordered_map<std::uint32_t, TableDef> tables_;
+  std::unordered_map<std::uint32_t, UserDef> users_;
+};
+
+}  // namespace vdb::catalog

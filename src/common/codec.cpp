@@ -1,0 +1,51 @@
+#include "common/codec.hpp"
+
+#include <array>
+
+namespace vdb {
+
+Result<std::vector<std::uint8_t>> Decoder::get_bytes() {
+  auto len = get_u32();
+  if (!len.is_ok()) return len.status();
+  if (remaining() < len.value()) {
+    return Status{ErrorCode::kCorruption, "decoder: truncated blob"};
+  }
+  std::vector<std::uint8_t> out(data_.begin() + static_cast<long>(pos_),
+                                data_.begin() + static_cast<long>(pos_) +
+                                    len.value());
+  pos_ += len.value();
+  return out;
+}
+
+Result<std::string> Decoder::get_string() {
+  auto bytes = get_bytes();
+  if (!bytes.is_ok()) return bytes.status();
+  return std::string(bytes.value().begin(), bytes.value().end());
+}
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int j = 0; j < 8; ++j) {
+      crc = (crc >> 1) ^ ((crc & 1) ? 0x82F63B78u : 0);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32c(std::span<const std::uint8_t> data, std::uint32_t seed) {
+  static const auto kTable = make_crc_table();
+  std::uint32_t crc = ~seed;
+  for (std::uint8_t b : data) {
+    crc = (crc >> 8) ^ kTable[(crc ^ b) & 0xFF];
+  }
+  return ~crc;
+}
+
+}  // namespace vdb

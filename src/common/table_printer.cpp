@@ -1,0 +1,60 @@
+#include "common/table_printer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace vdb {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::to_string() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto emit_row = [&](const std::vector<std::string>& row, std::string& out) {
+    out += "|";
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      out += " ";
+      const std::string& cell = c < row.size() ? row[c] : headers_[c];
+      out += cell;
+      out.append(widths[c] - cell.size(), ' ');
+      out += " |";
+    }
+    out += "\n";
+  };
+
+  std::string out;
+  emit_row(headers_, out);
+  out += "|";
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    out.append(widths[c] + 2, '-');
+    out += "|";
+  }
+  out += "\n";
+  for (const auto& row : rows_) emit_row(row, out);
+  return out;
+}
+
+void TablePrinter::print(FILE* out) const {
+  const std::string s = to_string();
+  std::fwrite(s.data(), 1, s.size(), out);
+}
+
+std::string TablePrinter::num(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+}  // namespace vdb

@@ -1,0 +1,35 @@
+// Fixed-width text tables for benchmark reports.
+//
+// The bench binaries print the same rows the paper's tables and figures
+// report; this helper keeps the layout consistent and readable.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace vdb {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds one row; cells beyond the header count are dropped, missing cells
+  /// are blank.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the table with a header rule, column-width auto-sizing.
+  std::string to_string() const;
+
+  /// Convenience: renders to stdout.
+  void print(FILE* out = stdout) const;
+
+  /// Formats a double with `digits` decimals.
+  static std::string num(double v, int digits = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace vdb

@@ -1,0 +1,26 @@
+#include "common/types.hpp"
+
+#include <cstdio>
+
+namespace vdb {
+
+std::string to_string(PageId id) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "file%u:blk%u", id.file.value, id.block);
+  return buf;
+}
+
+std::string to_string(RowId id) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "file%u:blk%u:slot%u", id.page.file.value,
+                id.page.block, id.slot);
+  return buf;
+}
+
+std::string format_duration(SimDuration d) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3fs", to_seconds(d));
+  return buf;
+}
+
+}  // namespace vdb

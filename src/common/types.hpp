@@ -1,0 +1,137 @@
+// Core strong types shared by every subsystem.
+//
+// All identifiers are distinct struct wrappers so that a FileId cannot be
+// passed where a TablespaceId is expected. Simulated time is an integral
+// count of microseconds on the virtual clock (see sim/virtual_clock.hpp).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace vdb {
+
+/// Simulated time in microseconds since simulation start.
+using SimTime = std::uint64_t;
+
+/// Duration in simulated microseconds.
+using SimDuration = std::uint64_t;
+
+constexpr SimDuration kMicrosecond = 1;
+constexpr SimDuration kMillisecond = 1000 * kMicrosecond;
+constexpr SimDuration kSecond = 1000 * kMillisecond;
+constexpr SimDuration kMinute = 60 * kSecond;
+
+/// Converts simulated microseconds to floating-point seconds (for reports).
+constexpr double to_seconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+/// Converts floating-point seconds to simulated microseconds.
+constexpr SimDuration from_seconds(double s) {
+  return static_cast<SimDuration>(s * static_cast<double>(kSecond));
+}
+
+namespace detail {
+
+/// CRTP-free strong integral id. `Tag` makes each instantiation unique.
+template <typename Tag, typename Rep = std::uint32_t>
+struct StrongId {
+  using rep_type = Rep;
+
+  Rep value{0};
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(Rep v) : value(v) {}
+
+  constexpr auto operator<=>(const StrongId&) const = default;
+
+  /// Sentinel meaning "no object".
+  static constexpr StrongId invalid() { return StrongId{static_cast<Rep>(-1)}; }
+  constexpr bool valid() const { return value != static_cast<Rep>(-1); }
+};
+
+}  // namespace detail
+
+struct FileIdTag {};
+struct TablespaceIdTag {};
+struct TableIdTag {};
+struct TxnIdTag {};
+struct UserIdTag {};
+struct SegmentIdTag {};
+struct DiskIdTag {};
+
+/// Identifies one datafile within a database.
+using FileId = detail::StrongId<FileIdTag>;
+/// Identifies one tablespace within a database.
+using TablespaceId = detail::StrongId<TablespaceIdTag>;
+/// Identifies one table (catalog object).
+using TableId = detail::StrongId<TableIdTag>;
+/// Identifies one transaction. Monotonically increasing.
+using TxnId = detail::StrongId<TxnIdTag, std::uint64_t>;
+/// Identifies a database user (schema owner).
+using UserId = detail::StrongId<UserIdTag>;
+/// Identifies a segment (one per table heap or rollback segment).
+using SegmentId = detail::StrongId<SegmentIdTag>;
+/// Identifies one simulated disk device.
+using DiskId = detail::StrongId<DiskIdTag>;
+
+/// Log sequence number: byte offset in the logical redo stream. Strictly
+/// increasing over the life of a database; never reset by log switches.
+using Lsn = std::uint64_t;
+constexpr Lsn kInvalidLsn = ~Lsn{0};
+
+/// Physical address of a page: file + block index within the file.
+struct PageId {
+  FileId file{};
+  std::uint32_t block{0};
+
+  constexpr auto operator<=>(const PageId&) const = default;
+  constexpr bool valid() const { return file.valid(); }
+  static constexpr PageId invalid() { return PageId{FileId::invalid(), 0}; }
+};
+
+/// Physical address of a row: page + slot.
+struct RowId {
+  PageId page{};
+  std::uint16_t slot{0};
+
+  constexpr auto operator<=>(const RowId&) const = default;
+  constexpr bool valid() const { return page.valid(); }
+  static constexpr RowId invalid() { return RowId{PageId::invalid(), 0}; }
+};
+
+std::string to_string(PageId id);
+std::string to_string(RowId id);
+
+/// Formats a simulated duration as "12.345s" for reports.
+std::string format_duration(SimDuration d);
+
+}  // namespace vdb
+
+namespace std {
+
+template <typename Tag, typename Rep>
+struct hash<vdb::detail::StrongId<Tag, Rep>> {
+  size_t operator()(const vdb::detail::StrongId<Tag, Rep>& id) const noexcept {
+    return std::hash<Rep>{}(id.value);
+  }
+};
+
+template <>
+struct hash<vdb::PageId> {
+  size_t operator()(const vdb::PageId& id) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(id.file.value) << 32) | id.block);
+  }
+};
+
+template <>
+struct hash<vdb::RowId> {
+  size_t operator()(const vdb::RowId& id) const noexcept {
+    return std::hash<vdb::PageId>{}(id.page) * 1000003u + id.slot;
+  }
+};
+
+}  // namespace std

@@ -1,0 +1,223 @@
+#include "engine/admin_shell.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <vector>
+
+namespace vdb::engine {
+
+namespace {
+
+std::string upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return s;
+}
+
+std::vector<std::string> tokenize(const std::string& command) {
+  std::istringstream in(command);
+  std::vector<std::string> tokens;
+  std::string token;
+  while (in >> token) tokens.push_back(token);
+  return tokens;
+}
+
+Status bad_syntax(const std::string& command) {
+  return make_error(ErrorCode::kInvalidArgument,
+                    "syntax error in: " + command);
+}
+
+Result<std::uint32_t> parse_u32(const std::string& token) {
+  try {
+    return static_cast<std::uint32_t>(std::stoul(token));
+  } catch (...) {
+    return Status{ErrorCode::kInvalidArgument, "not a number: " + token};
+  }
+}
+
+}  // namespace
+
+Result<std::string> AdminShell::execute(const std::string& command) {
+  const auto tokens = tokenize(command);
+  if (tokens.empty()) return std::string{};
+  const std::string verb = upper(tokens[0]);
+
+  if (verb == "SHUTDOWN") {
+    if (tokens.size() > 1 && upper(tokens[1]) == "ABORT") {
+      VDB_RETURN_IF_ERROR(db_->shutdown_abort());
+      return std::string{"instance aborted"};
+    }
+    VDB_RETURN_IF_ERROR(db_->shutdown());
+    return std::string{"instance shut down"};
+  }
+
+  if (verb == "CHECKPOINT") {
+    VDB_RETURN_IF_ERROR(db_->checkpoint_now());
+    return std::string{"checkpoint complete"};
+  }
+
+  if (verb == "CREATE" && tokens.size() >= 9 &&
+      upper(tokens[1]) == "TABLE" && upper(tokens[3]) == "TABLESPACE" &&
+      upper(tokens[5]) == "SLOTSIZE" && upper(tokens[7]) == "OWNER") {
+    auto slot = parse_u32(tokens[6]);
+    if (!slot.is_ok()) return slot.status();
+    auto user = db_->cat().find_user(tokens[8]);
+    if (!user.is_ok()) return user.status();
+    auto table = db_->create_table(tokens[2], tokens[4],
+                                   static_cast<std::uint16_t>(slot.value()),
+                                   user.value()->id);
+    if (!table.is_ok()) return table.status();
+    return "table " + tokens[2] + " created";
+  }
+
+  if (verb == "DROP" && tokens.size() >= 3) {
+    const std::string kind = upper(tokens[1]);
+    if (kind == "TABLE") {
+      VDB_RETURN_IF_ERROR(db_->drop_table(tokens[2]));
+      return "table " + tokens[2] + " dropped";
+    }
+    if (kind == "TABLESPACE") {
+      const bool including =
+          tokens.size() >= 4 && upper(tokens[3]) == "INCLUDING";
+      VDB_RETURN_IF_ERROR(db_->drop_tablespace(tokens[2], including));
+      return "tablespace " + tokens[2] + " dropped";
+    }
+    return bad_syntax(command);
+  }
+
+  if (verb == "ALTER" && tokens.size() >= 3) {
+    const std::string kind = upper(tokens[1]);
+    if (kind == "TABLESPACE" && tokens.size() >= 4) {
+      const std::string action = upper(tokens[3]);
+      if (action == "ONLINE") {
+        VDB_RETURN_IF_ERROR(db_->alter_tablespace_online(tokens[2]));
+        return "tablespace " + tokens[2] + " online";
+      }
+      if (action == "OFFLINE") {
+        VDB_RETURN_IF_ERROR(db_->alter_tablespace_offline(tokens[2]));
+        return "tablespace " + tokens[2] + " offline";
+      }
+      if (action == "QUOTA" && tokens.size() >= 5) {
+        auto blocks = parse_u32(tokens[4]);
+        if (!blocks.is_ok()) return blocks.status();
+        VDB_RETURN_IF_ERROR(
+            db_->alter_tablespace_quota(tokens[2], blocks.value()));
+        return "tablespace " + tokens[2] + " quota set";
+      }
+      return bad_syntax(command);
+    }
+    if (kind == "DATAFILE" && tokens.size() >= 4) {
+      auto id = parse_u32(tokens[2]);
+      if (!id.is_ok()) return id.status();
+      const std::string action = upper(tokens[3]);
+      if (action == "ONLINE") {
+        VDB_RETURN_IF_ERROR(db_->alter_datafile_online(FileId{id.value()}));
+        return "datafile " + tokens[2] + " online";
+      }
+      if (action == "OFFLINE") {
+        VDB_RETURN_IF_ERROR(db_->alter_datafile_offline(FileId{id.value()}));
+        return "datafile " + tokens[2] + " offline";
+      }
+      return bad_syntax(command);
+    }
+    if (kind == "ROLLBACK" && tokens.size() >= 5 &&
+        upper(tokens[2]) == "SEGMENT") {
+      auto index = parse_u32(tokens[3]);
+      if (!index.is_ok()) return index.status();
+      const std::string action = upper(tokens[4]);
+      if (action == "ONLINE") {
+        VDB_RETURN_IF_ERROR(db_->alter_rollback_segment_online(index.value()));
+        return std::string{"rollback segment online"};
+      }
+      if (action == "OFFLINE") {
+        VDB_RETURN_IF_ERROR(
+            db_->alter_rollback_segment_offline(index.value()));
+        return std::string{"rollback segment offline"};
+      }
+      return bad_syntax(command);
+    }
+    return bad_syntax(command);
+  }
+
+  if (verb == "ARCHIVE" && tokens.size() >= 3 &&
+      upper(tokens[1]) == "LOG" && upper(tokens[2]) == "LIST") {
+    std::ostringstream out;
+    out << "archive mode: "
+        << (db_->config().redo.archive_mode ? "ARCHIVELOG" : "NOARCHIVELOG")
+        << "\n";
+    for (const auto& group : db_->redo().groups()) {
+      out << "group " << group.index << " seq " << group.seq
+          << (group.current ? " CURRENT" : group.archived ? " ARCHIVED"
+                                                          : " PENDING")
+          << "\n";
+    }
+    return out.str();
+  }
+
+  if (verb == "SHOW" && tokens.size() >= 2) {
+    const std::string what = upper(tokens[1]);
+    std::ostringstream out;
+    if (what == "TABLES") {
+      for (const auto* table : db_->cat().tables()) {
+        out << table->name << " (id " << table->id.value << ", slot "
+            << table->slot_size << ")\n";
+      }
+      return out.str();
+    }
+    if (what == "DATAFILES") {
+      for (const auto& file : db_->storage().files()) {
+        if (file.dropped) continue;
+        out << file.id.value << " " << file.path << " " << file.blocks
+            << " blocks " << storage::to_string(file.status) << "\n";
+      }
+      return out.str();
+    }
+    if (what == "TABLESPACES") {
+      for (const auto& ts : db_->storage().tablespaces()) {
+        if (ts.dropped) continue;
+        out << ts.name << " " << storage::to_string(ts.status) << " ("
+            << ts.files.size() << " files)\n";
+      }
+      return out.str();
+    }
+    return bad_syntax(command);
+  }
+
+  if (verb == "HOST" && tokens.size() >= 3) {
+    const std::string op = upper(tokens[1]);
+    if (op == "RM") {
+      VDB_RETURN_IF_ERROR(db_->host().fs().remove(tokens[2]));
+      return "removed " + tokens[2];
+    }
+    if (op == "CORRUPT") {
+      VDB_RETURN_IF_ERROR(db_->host().fs().corrupt(tokens[2]));
+      return "corrupted " + tokens[2];
+    }
+    return bad_syntax(command);
+  }
+
+  return bad_syntax(command);
+}
+
+Result<std::string> AdminShell::run_script(const std::string& script) {
+  std::istringstream in(script);
+  std::string line;
+  std::string output;
+  while (std::getline(in, line)) {
+    // Trim leading whitespace.
+    const size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos) continue;
+    line = line.substr(start);
+    if (line.empty() || line[0] == '#' || line.rfind("--", 0) == 0) continue;
+    auto result = execute(line);
+    if (!result.is_ok()) return result.status();
+    if (!result.value().empty()) {
+      output += result.value();
+      if (output.back() != '\n') output += '\n';
+    }
+  }
+  return output;
+}
+
+}  // namespace vdb::engine

@@ -1,0 +1,43 @@
+// Administration shell: a textual command surface over the Database —
+// the interface the paper's fault-injection scripts drive ("operator
+// faults can be injected by using exactly the same means used in the
+// field", §3; the original tools were Perl + SQL scripts).
+//
+// Supported commands (case-insensitive keywords):
+//   SHUTDOWN [ABORT]
+//   CHECKPOINT
+//   CREATE TABLE <name> TABLESPACE <ts> SLOTSIZE <n> OWNER <user>
+//   DROP TABLE <name>
+//   DROP TABLESPACE <name> [INCLUDING CONTENTS AND DATAFILES]
+//   ALTER TABLESPACE <name> {ONLINE | OFFLINE | QUOTA <blocks>}
+//   ALTER DATAFILE <id> {ONLINE | OFFLINE}
+//   ALTER ROLLBACK SEGMENT <n> {ONLINE | OFFLINE}
+//   ARCHIVE LOG LIST
+//   SHOW {TABLES | DATAFILES | TABLESPACES}
+//   HOST RM <path>          -- OS escape: delete a file
+//   HOST CORRUPT <path>     -- OS escape: corrupt a file in place
+#pragma once
+
+#include <string>
+
+#include "common/status.hpp"
+#include "engine/database.hpp"
+
+namespace vdb::engine {
+
+class AdminShell {
+ public:
+  explicit AdminShell(Database* db) : db_(db) {}
+
+  /// Executes one command; returns its textual output.
+  Result<std::string> execute(const std::string& command);
+
+  /// Executes a multi-line script, stopping at the first failure.
+  /// Lines that are empty or start with '#' or "--" are skipped.
+  Result<std::string> run_script(const std::string& script);
+
+ private:
+  Database* db_;
+};
+
+}  // namespace vdb::engine

@@ -1,0 +1,184 @@
+#include "engine/control_file.hpp"
+
+namespace vdb::engine {
+
+namespace {
+constexpr std::uint32_t kControlMagic = 0x4354524C;  // "CTRL"
+}
+
+void ControlFileData::encode(Encoder& enc) const {
+  enc.put_string(db_name);
+  enc.put_u8(clean_shutdown ? 1 : 0);
+  enc.put_u64(recovery_position);
+  enc.put_u64(checkpoint_lsn);
+  enc.put_u64(next_txn_id);
+  enc.put_u64(last_archived_seq);
+  enc.put_u8(archive_mode ? 1 : 0);
+
+  enc.put_u32(static_cast<std::uint32_t>(tablespaces.size()));
+  for (const auto& ts : tablespaces) {
+    enc.put_u32(ts.id.value);
+    enc.put_string(ts.name);
+    enc.put_u8(static_cast<std::uint8_t>(ts.status));
+    enc.put_u8(ts.autoextend ? 1 : 0);
+    enc.put_u32(ts.max_blocks);
+    enc.put_u8(ts.dropped ? 1 : 0);
+  }
+  enc.put_u32(static_cast<std::uint32_t>(datafiles.size()));
+  for (const auto& f : datafiles) {
+    enc.put_u32(f.id.value);
+    enc.put_u32(f.tablespace.value);
+    enc.put_string(f.path);
+    enc.put_u32(f.blocks);
+    enc.put_u32(f.high_water);
+    enc.put_u8(static_cast<std::uint8_t>(f.status));
+    enc.put_u64(f.recover_from);
+    enc.put_u8(f.dropped ? 1 : 0);
+  }
+  catalog.encode(enc);
+}
+
+Result<ControlFileData> ControlFileData::decode(Decoder& dec) {
+  ControlFileData data;
+  auto name = dec.get_string();
+  if (!name.is_ok()) return name.status();
+  data.db_name = std::move(name).value();
+  auto clean = dec.get_u8();
+  auto rec_pos = dec.get_u64();
+  auto ckpt = dec.get_u64();
+  auto next_txn = dec.get_u64();
+  auto arch_seq = dec.get_u64();
+  auto arch_mode = dec.get_u8();
+  auto ts_count = dec.get_u32();
+  if (!clean.is_ok() || !rec_pos.is_ok() || !ckpt.is_ok() ||
+      !next_txn.is_ok() || !arch_seq.is_ok() || !arch_mode.is_ok() ||
+      !ts_count.is_ok()) {
+    return Status{ErrorCode::kCorruption, "bad control header"};
+  }
+  data.clean_shutdown = clean.value() != 0;
+  data.recovery_position = rec_pos.value();
+  data.checkpoint_lsn = ckpt.value();
+  data.next_txn_id = next_txn.value();
+  data.last_archived_seq = arch_seq.value();
+  data.archive_mode = arch_mode.value() != 0;
+
+  for (std::uint32_t i = 0; i < ts_count.value(); ++i) {
+    storage::TablespaceInfo ts;
+    auto id = dec.get_u32();
+    auto ts_name = dec.get_string();
+    if (!ts_name.is_ok()) return ts_name.status();
+    auto status = dec.get_u8();
+    auto autoext = dec.get_u8();
+    auto max_blocks = dec.get_u32();
+    auto dropped = dec.get_u8();
+    if (!id.is_ok() || !status.is_ok() || !autoext.is_ok() ||
+        !max_blocks.is_ok() || !dropped.is_ok()) {
+      return Status{ErrorCode::kCorruption, "bad tablespace entry"};
+    }
+    ts.id = TablespaceId{id.value()};
+    ts.name = std::move(ts_name).value();
+    ts.status = static_cast<storage::TablespaceStatus>(status.value());
+    ts.autoextend = autoext.value() != 0;
+    ts.max_blocks = max_blocks.value();
+    ts.dropped = dropped.value() != 0;
+    data.tablespaces.push_back(std::move(ts));
+  }
+
+  auto file_count = dec.get_u32();
+  if (!file_count.is_ok()) return file_count.status();
+  for (std::uint32_t i = 0; i < file_count.value(); ++i) {
+    storage::DataFileInfo f;
+    auto id = dec.get_u32();
+    auto ts = dec.get_u32();
+    auto path = dec.get_string();
+    if (!path.is_ok()) return path.status();
+    auto blocks = dec.get_u32();
+    auto hwm = dec.get_u32();
+    auto status = dec.get_u8();
+    auto recover_from = dec.get_u64();
+    auto dropped = dec.get_u8();
+    if (!id.is_ok() || !ts.is_ok() || !blocks.is_ok() || !hwm.is_ok() ||
+        !status.is_ok() || !recover_from.is_ok() || !dropped.is_ok()) {
+      return Status{ErrorCode::kCorruption, "bad datafile entry"};
+    }
+    f.id = FileId{id.value()};
+    f.tablespace = TablespaceId{ts.value()};
+    f.path = std::move(path).value();
+    f.blocks = blocks.value();
+    f.high_water = hwm.value();
+    f.status = static_cast<storage::FileStatus>(status.value());
+    f.recover_from = recover_from.value();
+    f.dropped = dropped.value() != 0;
+    data.datafiles.push_back(std::move(f));
+  }
+
+  auto cat = catalog::Catalog::decode(dec);
+  if (!cat.is_ok()) return cat.status();
+  data.catalog = std::move(cat).value();
+  return data;
+}
+
+Status ControlFile::write(sim::SimFs& fs, const std::vector<std::string>& paths,
+                          const ControlFileData& data, sim::IoMode mode) {
+  std::vector<std::uint8_t> body;
+  Encoder enc(&body);
+  data.encode(enc);
+
+  std::vector<std::uint8_t> blob;
+  Encoder header(&blob);
+  header.put_u32(kControlMagic);
+  header.put_u32(crc32c(body));
+  header.put_u32(static_cast<std::uint32_t>(body.size()));
+  blob.insert(blob.end(), body.begin(), body.end());
+
+  size_t written = 0;
+  for (const std::string& path : paths) {
+    if (!fs.exists(path)) {
+      if (!fs.create(path).is_ok()) continue;  // mount gone
+    }
+    VDB_RETURN_IF_ERROR(fs.truncate(path, 0));
+    Status st = fs.write(path, 0, blob, mode, /*sequential=*/true);
+    if (st.is_ok()) written += 1;
+  }
+  if (written == 0) {
+    return make_error(ErrorCode::kMediaFailure,
+                      "no control file copy could be written");
+  }
+  return Status::ok();
+}
+
+Result<ControlFileData> ControlFile::read(
+    sim::SimFs& fs, const std::vector<std::string>& paths) {
+  Status last = make_error(ErrorCode::kNotFound, "no control file found");
+  for (const std::string& path : paths) {
+    if (!fs.exists(path)) continue;
+    auto bytes = fs.read_all(path, sim::IoMode::kForeground);
+    if (!bytes.is_ok()) {
+      last = bytes.status();
+      continue;
+    }
+    Decoder dec(bytes.value());
+    auto magic = dec.get_u32();
+    auto crc = dec.get_u32();
+    auto len = dec.get_u32();
+    if (!magic.is_ok() || !crc.is_ok() || !len.is_ok() ||
+        magic.value() != kControlMagic || dec.remaining() < len.value()) {
+      last = make_error(ErrorCode::kCorruption, "bad control file: " + path);
+      continue;
+    }
+    std::span<const std::uint8_t> body{bytes.value().data() + 12,
+                                       len.value()};
+    if (crc32c(body) != crc.value()) {
+      last = make_error(ErrorCode::kCorruption,
+                        "control file checksum mismatch: " + path);
+      continue;
+    }
+    Decoder body_dec(body);
+    auto data = ControlFileData::decode(body_dec);
+    if (data.is_ok()) return data;
+    last = data.status();
+  }
+  return last;
+}
+
+}  // namespace vdb::engine

@@ -1,0 +1,54 @@
+// Control file: the database's bootstrap metadata.
+//
+// Holds everything an instance needs to mount: datafile/tablespace
+// inventory with statuses, checkpoint positions, the catalog snapshot, and
+// id counters. Multiplexed across several paths (all written, first intact
+// one read) — losing every copy is the catastrophic "delete a controlfile"
+// operator fault.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.hpp"
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "sim/filesystem.hpp"
+#include "storage/storage_manager.hpp"
+
+namespace vdb::engine {
+
+struct ControlFileData {
+  std::string db_name;
+  bool clean_shutdown = false;
+  /// Instance recovery replays redo from here.
+  Lsn recovery_position = 0;
+  /// LSN of the most recent checkpoint record.
+  Lsn checkpoint_lsn = 0;
+  std::uint64_t next_txn_id = 1;
+  std::uint64_t last_archived_seq = 0;
+  bool archive_mode = false;
+  std::vector<storage::TablespaceInfo> tablespaces;
+  std::vector<storage::DataFileInfo> datafiles;
+  catalog::Catalog catalog;
+
+  void encode(Encoder& enc) const;
+  static Result<ControlFileData> decode(Decoder& dec);
+};
+
+class ControlFile {
+ public:
+  /// Writes all copies. Copies that cannot be written (deleted mount) are
+  /// skipped; fails only when no copy succeeds. Checkpoint-driven updates
+  /// run as background I/O (the CKPT process's work, not the user's);
+  /// mount-critical writes may choose foreground.
+  static Status write(sim::SimFs& fs, const std::vector<std::string>& paths,
+                      const ControlFileData& data,
+                      sim::IoMode mode = sim::IoMode::kBackground);
+
+  /// Reads the first intact copy.
+  static Result<ControlFileData> read(sim::SimFs& fs,
+                                      const std::vector<std::string>& paths);
+};
+
+}  // namespace vdb::engine

@@ -1,0 +1,271 @@
+// Database: the engine facade tying storage, WAL, transactions, catalog and
+// background processes together — one object per instance incarnation.
+//
+// Lifecycle mirrors Oracle: create() builds a brand-new database; startup()
+// mounts from the control file and runs instance recovery when the previous
+// incarnation did not shut down cleanly; shutdown() is clean;
+// shutdown_abort() is the operator fault — the instance dies on the spot,
+// losing its caches and unflushed log buffer. After a crash the *next*
+// incarnation is a fresh Database constructed over the same host.
+//
+// Redo discipline: every change is logged before it is applied, forward
+// processing and recovery replay share the same apply functions, commits
+// force the log, and checkpoints (full at log switches, incremental on the
+// log_checkpoint_timeout timer) bound the replay window — the machinery
+// whose tuning the paper benchmarks.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/catalog.hpp"
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "engine/control_file.hpp"
+#include "engine/db_config.hpp"
+#include "sim/host.hpp"
+#include "sim/scheduler.hpp"
+#include "storage/storage_manager.hpp"
+#include "storage/table_heap.hpp"
+#include "txn/lock_manager.hpp"
+#include "txn/txn_manager.hpp"
+#include "wal/archiver.hpp"
+#include "wal/log_record.hpp"
+#include "wal/redo_log.hpp"
+
+namespace vdb::engine {
+
+enum class InstanceState { kClosed, kOpen, kCrashed, kRecovering };
+
+const char* to_string(InstanceState s);
+
+struct EngineStats {
+  std::uint64_t full_checkpoints = 0;  // log-switch/forced/manual checkpoints
+  std::uint64_t incremental_checkpoints = 0;
+  std::uint64_t commits = 0;
+  std::uint64_t aborts = 0;
+  std::uint64_t rows_inserted = 0;
+  std::uint64_t rows_updated = 0;
+  std::uint64_t rows_deleted = 0;
+  std::uint64_t rows_read = 0;
+  std::uint64_t media_errors = 0;
+};
+
+/// Row-level change notification for derived state (application indexes).
+/// Fired on forward DML and runtime rollback, not during recovery replay
+/// (indexes are rebuilt wholesale after recovery).
+struct RowChange {
+  enum class Kind { kInsert, kUpdate, kDelete } kind;
+  TableId table;
+  RowId rid;
+  std::span<const std::uint8_t> before;
+  std::span<const std::uint8_t> after;
+};
+using RowObserver = std::function<void(const RowChange&)>;
+
+/// Called for every live row during post-startup rebuild scans.
+using RebuildRowHook =
+    std::function<void(TableId, RowId, std::span<const std::uint8_t>)>;
+
+class Database {
+ public:
+  Database(sim::Host* host, sim::Scheduler* scheduler, DatabaseConfig cfg);
+  ~Database();
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // --- lifecycle ------------------------------------------------------------
+
+  /// Builds a brand-new database: redo groups, control files, SYS user.
+  Status create();
+
+  /// Mounts from the control file, instance-recovers if the last shutdown
+  /// was not clean, rebuilds object state, and opens.
+  Status startup();
+
+  /// Clean shutdown: checkpoint, control file marked clean.
+  Status shutdown();
+
+  /// SHUTDOWN ABORT — the operator fault. Caches and the unflushed log
+  /// buffer are lost; active transactions will be rolled back by instance
+  /// recovery at next startup.
+  Status shutdown_abort();
+
+  InstanceState state() const { return state_; }
+  bool is_open() const { return state_ == InstanceState::kOpen; }
+
+  // --- DDL / administration ---------------------------------------------------
+
+  Result<TablespaceId> create_tablespace(
+      const std::string& name,
+      const std::vector<std::pair<std::string, std::uint32_t>>& files,
+      bool autoextend = true, std::uint32_t max_blocks = 0);
+
+  Result<UserId> create_user(const std::string& name, bool is_dba);
+  Status drop_user(const std::string& name);
+
+  Result<TableId> create_table(const std::string& name,
+                               const std::string& tablespace,
+                               std::uint16_t slot_size, UserId owner,
+                               std::vector<catalog::ColumnDef> columns = {});
+  Status drop_table(const std::string& name);
+  Status set_table_logging(const std::string& name, bool logging);
+
+  Status drop_tablespace(const std::string& name, bool delete_files);
+  Status alter_tablespace_offline(const std::string& name);
+  Status alter_tablespace_online(const std::string& name);
+  Status alter_datafile_offline(FileId id);
+  /// Brings a datafile online; fails with kRecoveryRequired until media
+  /// recovery has rolled it forward.
+  Status alter_datafile_online(FileId id);
+
+  /// Changes a tablespace's block quota (recovery procedure for the
+  /// "allow a tablespace to run out of space" operator fault).
+  Status alter_tablespace_quota(const std::string& name,
+                                std::uint32_t max_blocks);
+
+  /// Rollback-segment administration (operator-fault surface).
+  Status alter_rollback_segment_offline(std::uint32_t index);
+  Status alter_rollback_segment_online(std::uint32_t index);
+
+  /// Manual full checkpoint (also used by backup procedures).
+  Status checkpoint_now();
+
+  // --- transactions & DML -----------------------------------------------------
+
+  Result<TxnId> begin();
+  /// Commits; the returned LSN is the commit record's position (0 for
+  /// read-only transactions). The driver stores it: a committed transaction
+  /// is lost iff recovery later stops below this LSN.
+  Result<Lsn> commit(TxnId txn);
+  Status rollback(TxnId txn);
+
+  /// Rolls back transactions stranded by a failed rollback once media
+  /// recovery has made their files accessible again (SMON-style dead-
+  /// transaction recovery).
+  Status resolve_in_doubt_transactions();
+
+  Result<RowId> insert(TxnId txn, TableId table,
+                       std::span<const std::uint8_t> row);
+  Status update(TxnId txn, TableId table, RowId rid,
+                std::span<const std::uint8_t> row);
+  Status erase(TxnId txn, TableId table, RowId rid);
+  Result<std::vector<std::uint8_t>> read(TxnId txn, TableId table, RowId rid);
+
+  /// Unlocked scan (loader, consistency checker, rebuild).
+  Status scan(TableId table,
+              const std::function<bool(RowId, std::span<const std::uint8_t>)>&
+                  fn);
+
+  Result<TableId> table_id(const std::string& name) const;
+
+  // --- derived-state hooks ----------------------------------------------------
+
+  void register_observer(TableId table, RowObserver observer);
+  void set_rebuild_hook(RebuildRowHook hook) { rebuild_hook_ = std::move(hook); }
+
+  /// Invoked once the catalog is available (after mount / instance
+  /// recovery) and before object state is rebuilt — the place to register
+  /// observers and the rebuild hook on a fresh incarnation.
+  void set_on_mounted(std::function<void(Database&)> fn) {
+    on_mounted_ = std::move(fn);
+  }
+
+  // --- recovery collaboration --------------------------------------------------
+
+  /// Applies one redo record with page-LSN idempotency guards. DDL records
+  /// are applied idempotently. Used by instance recovery, media recovery,
+  /// and the stand-by's managed recovery.
+  Status apply_record(const wal::LogRecord& rec);
+
+  /// Rebuilds table heaps (and fires the rebuild hook) by scanning every
+  /// online datafile once.
+  Status rebuild_object_state();
+
+  Status write_control_file(bool clean);
+
+  /// Instance recovery (crash recovery): replay from the last checkpoint's
+  /// recovery position, then roll back losers. Returns the LSN up to which
+  /// the database state is current.
+  Result<Lsn> instance_recovery();
+
+  /// Rolls back one incomplete transaction discovered by a replay driver
+  /// (instance recovery, stand-by activation): compensates the not-yet-
+  /// compensated tail of `ops` (the last `clrs_done` were already undone)
+  /// and writes the ABORT record.
+  Status undo_incomplete_txn(TxnId txn, const std::vector<wal::UndoOp>& ops,
+                             std::uint64_t clrs_done);
+
+  /// Puts the engine in / out of recovery mode (offline files accessible).
+  void set_recovering(bool on);
+
+  /// Mounts from an externally supplied control-file snapshot (restore from
+  /// backup, stand-by instantiation) without opening.
+  Status mount_from_control(const ControlFileData& data);
+
+  /// Finishes an externally driven recovery (point-in-time restore or
+  /// stand-by activation): rebuilds object state, checkpoints, and opens.
+  Status open_after_external_recovery();
+
+  // --- component access ---------------------------------------------------------
+
+  storage::StorageManager& storage() { return *storage_; }
+  wal::RedoLog& redo() { return *redo_; }
+  wal::Archiver& archiver() { return *archiver_; }
+  txn::TxnManager& txns() { return txns_; }
+  txn::LockManager& locks() { return locks_; }
+  catalog::Catalog& cat() { return catalog_; }
+  sim::Host& host() { return *host_; }
+  sim::Scheduler& scheduler() { return *scheduler_; }
+  sim::VirtualClock& clock() { return scheduler_->clock(); }
+  const DatabaseConfig& config() const { return cfg_; }
+  const EngineStats& stats() const { return stats_; }
+  storage::TableHeap* heap(TableId table);
+
+ private:
+  Status ensure_open() const;
+  void advance(SimDuration d) { scheduler_->clock().advance_by(d); }
+
+  /// Full checkpoint: flush log, write all dirty pages, emit checkpoint
+  /// record, advance the recovery position, persist the control file.
+  Status full_checkpoint();
+  /// log_checkpoint_timeout tick: age-based dirty writes + checkpoint record
+  /// with the min-dirty recovery position.
+  Status incremental_checkpoint();
+  void on_group_finalized(const wal::RedoGroup& group);
+  void schedule_background_tasks();
+  void cancel_background_tasks();
+
+  Lsn pseudo_lsn() const;  // for NOLOGGING changes: below any future record
+  void notify(const RowChange& change);
+  Status apply_undo_op(TxnId txn, const wal::UndoOp& op, bool log_clr);
+  Status handle_store_failures(
+      const std::vector<std::pair<PageId, Status>>& failures);
+
+  sim::Host* host_;
+  sim::Scheduler* scheduler_;
+  DatabaseConfig cfg_;
+  InstanceState state_ = InstanceState::kClosed;
+
+  std::unique_ptr<wal::RedoLog> redo_;
+  std::unique_ptr<wal::Archiver> archiver_;
+  std::unique_ptr<storage::StorageManager> storage_;
+  txn::TxnManager txns_;
+  txn::LockManager locks_;
+  catalog::Catalog catalog_;
+  std::unordered_map<std::uint32_t, std::unique_ptr<storage::TableHeap>>
+      heaps_;
+  std::unordered_map<std::uint32_t, std::vector<RowObserver>> observers_;
+  RebuildRowHook rebuild_hook_;
+  std::function<void(Database&)> on_mounted_;
+  sim::EventHandle ckpt_timer_;
+  EngineStats stats_;
+  std::uint64_t last_archived_seq_ = 0;
+  InstanceState pre_recovery_state_ = InstanceState::kClosed;
+};
+
+}  // namespace vdb::engine

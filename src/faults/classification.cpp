@@ -1,0 +1,110 @@
+#include "faults/classification.hpp"
+
+namespace vdb::faults {
+
+const char* to_string(Portability p) {
+  switch (p) {
+    case Portability::kYes: return "Yes";
+    case Portability::kEquivalent: return "Equivalent";
+    case Portability::kOracleSpecific: return "Oracle";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr FaultClassInfo kClasses[] = {
+    {"Memory & processes admin.",
+     "Mistakes in the administration of processes and memory structures: "
+     "wrong memory-allocation or process-initialization parameters, "
+     "accidental database shutdown causing loss of service."},
+    {"Security management",
+     "Mistakes in the attribution of passwords, access privileges, and disk "
+     "space to users; effects are hard to detect."},
+    {"Storage admin.",
+     "Mistakes in the administration of physical and logical storage: "
+     "removal or corruption of database files, incorrect distribution of "
+     "files over disks, letting storage structures run out of space."},
+    {"Database object admin.",
+     "Errors in the management of user objects: removal of a table or "
+     "index, incorrect object configuration, incorrect use of optimization "
+     "structures."},
+    {"Recovery mechanisms admin.",
+     "Mistakes in the configuration and administration of recovery "
+     "mechanisms: missing backups, removal or corruption of a log file, "
+     "missing archive logs."},
+};
+
+constexpr FaultTypeInfo kTypes[] = {
+    // Memory & processes administration
+    {"Memory & processes", "Making a database instance shutdown",
+     Portability::kYes, true},
+    {"Memory & processes", "Removing or corrupting the initialization file",
+     Portability::kYes, false},
+    {"Memory & processes", "Incorrect configuration of the SGA parameters",
+     Portability::kYes, false},
+    {"Memory & processes", "Incorrect config. max. number of user sessions",
+     Portability::kYes, false},
+    {"Memory & processes", "Killing a user session", Portability::kYes,
+     false},
+    // Security management
+    {"Security", "Database access level faults (passwords)",
+     Portability::kYes, false},
+    {"Security", "Incorrect attrib. of system and object privileges",
+     Portability::kEquivalent, false},
+    {"Security", "Attribution of incorrect disk quotas to users",
+     Portability::kEquivalent, false},
+    {"Security", "Attribution of incorrect profiles to users",
+     Portability::kEquivalent, false},
+    {"Security", "Incorrect attribution of tablespaces to users",
+     Portability::kOracleSpecific, false},
+    // Storage administration
+    {"Storage", "Delete a controlfile, tablespace or rollback seg.",
+     Portability::kOracleSpecific, true},
+    {"Storage", "Delete a datafile", Portability::kEquivalent, true},
+    {"Storage", "Incorrect distribution of datafiles through disks",
+     Portability::kYes, false},
+    {"Storage", "Insufficient number of rollback segments",
+     Portability::kOracleSpecific, false},
+    {"Storage", "Set a tablespace offline", Portability::kOracleSpecific,
+     true},
+    {"Storage", "Set a datafile offline", Portability::kEquivalent, true},
+    {"Storage", "Set a rollback segment offline",
+     Portability::kOracleSpecific, false},
+    {"Storage", "Allow a tablespace to run out of space",
+     Portability::kOracleSpecific, false},
+    {"Storage", "Allow a rollback segment to run out of space",
+     Portability::kOracleSpecific, false},
+    // Database object administration
+    {"Object admin.", "Delete a database user", Portability::kYes, false},
+    {"Object admin.", "Delete any user's database object", Portability::kYes,
+     true},
+    {"Object admin.", "Incorrect config. object's storage parameters",
+     Portability::kEquivalent, false},
+    {"Object admin.", "Set the NOLOGGING option in tables",
+     Portability::kOracleSpecific, false},
+    {"Object admin.", "Incorrect use of optimization structures",
+     Portability::kYes, false},
+    // Recovery mechanisms administration
+    {"Recovery admin.", "Delete a redo log file or group",
+     Portability::kEquivalent, false},
+    {"Recovery admin.", "Store all redo log group members in same disk",
+     Portability::kEquivalent, false},
+    {"Recovery admin.", "Insufficient redo log groups to support archive",
+     Portability::kEquivalent, false},
+    {"Recovery admin.", "Inexistence of archive logs",
+     Portability::kEquivalent, false},
+    {"Recovery admin.", "Delete a archive log file", Portability::kEquivalent,
+     false},
+    {"Recovery admin.", "Store archive files in the same disk as data files",
+     Portability::kEquivalent, false},
+    {"Recovery admin.", "Backups missing to allow recovery",
+     Portability::kEquivalent, false},
+};
+
+}  // namespace
+
+std::span<const FaultClassInfo> fault_classes() { return kClasses; }
+std::span<const FaultTypeInfo> fault_types() { return kTypes; }
+
+}  // namespace vdb::faults

@@ -1,0 +1,36 @@
+// Operator-fault classification for DBMS (the paper's Tables 1 and 2).
+//
+// The class taxonomy is general to any DBMS; the concrete types are the
+// Oracle 8i instantiation with the paper's portability assessment. The six
+// types marked injectable are the benchmark faultload (§4): chosen for
+// their ability to represent other types' effects, diversity of impact,
+// and diversity of required recovery.
+#pragma once
+
+#include <span>
+
+namespace vdb::faults {
+
+/// Table 1: classes of DBMS operator faults.
+struct FaultClassInfo {
+  const char* name;
+  const char* description;
+};
+
+/// Portability of a concrete fault type to non-Oracle DBMS (Table 2).
+enum class Portability { kYes, kEquivalent, kOracleSpecific };
+const char* to_string(Portability p);
+
+/// Table 2: concrete operator-fault types for an Oracle-8i-style DBMS.
+struct FaultTypeInfo {
+  const char* fault_class;
+  const char* name;
+  Portability portability;
+  /// Part of the benchmark faultload (§4 selects six types).
+  bool injected_in_benchmark;
+};
+
+std::span<const FaultClassInfo> fault_classes();
+std::span<const FaultTypeInfo> fault_types();
+
+}  // namespace vdb::faults

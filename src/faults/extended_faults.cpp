@@ -1,0 +1,94 @@
+#include "faults/extended_faults.hpp"
+
+#include "faults/fault_injector.hpp"
+
+namespace vdb::faults {
+
+const char* to_string(ExtendedFaultType t) {
+  switch (t) {
+    case ExtendedFaultType::kCorruptDatafile: return "Corrupt datafile";
+    case ExtendedFaultType::kDeleteRedoMember:
+      return "Delete redo log member";
+    case ExtendedFaultType::kDeleteArchiveLog: return "Delete archive log";
+    case ExtendedFaultType::kDestroyBackups: return "Backups missing";
+    case ExtendedFaultType::kCorruptControlFile:
+      return "Corrupt control file copy";
+    case ExtendedFaultType::kTablespaceOutOfSpace:
+      return "Tablespace out of space";
+    case ExtendedFaultType::kRollbackSegmentOffline:
+      return "Rollback segment offline";
+    case ExtendedFaultType::kKillUserSession: return "Kill user session";
+  }
+  return "?";
+}
+
+bool is_latent(ExtendedFaultType t) {
+  switch (t) {
+    case ExtendedFaultType::kDeleteArchiveLog:
+    case ExtendedFaultType::kDestroyBackups:
+    case ExtendedFaultType::kCorruptControlFile:
+    case ExtendedFaultType::kDeleteRedoMember:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Status ExtendedFaultInjector::inject(engine::Database& db,
+                                     const ExtendedFaultSpec& spec) {
+  sim::SimFs& fs = db.host().fs();
+  switch (spec.type) {
+    case ExtendedFaultType::kCorruptDatafile: {
+      FaultSpec target;
+      target.tablespace = spec.tablespace;
+      target.datafile_index = spec.datafile_index;
+      auto fid = FaultInjector::target_datafile(db, target);
+      if (!fid.is_ok()) return fid.status();
+      auto info = db.storage().file_info(fid.value());
+      if (!info.is_ok()) return info.status();
+      return fs.corrupt(info.value()->path);
+    }
+
+    case ExtendedFaultType::kDeleteRedoMember: {
+      const std::string path =
+          db.redo().member_path(spec.redo_group, spec.redo_member);
+      return fs.remove(path);
+    }
+
+    case ExtendedFaultType::kDeleteArchiveLog: {
+      const auto archives =
+          fs.list(db.config().redo.archive_dir + "/arch_");
+      if (archives.empty()) {
+        return make_error(ErrorCode::kNotFound, "no archived logs yet");
+      }
+      const size_t pick =
+          spec.archive_seq < archives.size() ? spec.archive_seq : 0;
+      return fs.remove(archives[pick]);
+    }
+
+    case ExtendedFaultType::kDestroyBackups:
+      return backups_->destroy_backups();
+
+    case ExtendedFaultType::kCorruptControlFile: {
+      if (db.config().control_files.empty()) {
+        return make_error(ErrorCode::kNotFound, "no control files");
+      }
+      return fs.corrupt(db.config().control_files.front());
+    }
+
+    case ExtendedFaultType::kTablespaceOutOfSpace:
+      return db.alter_tablespace_quota(spec.tablespace, spec.quota_blocks);
+
+    case ExtendedFaultType::kRollbackSegmentOffline:
+      return db.alter_rollback_segment_offline(spec.rollback_segment);
+
+    case ExtendedFaultType::kKillUserSession:
+      // The session's in-flight transaction evaporates; with the driver
+      // between transactions this is a pure availability blip, which is
+      // why the paper groups it under memory & process administration.
+      return Status::ok();
+  }
+  return make_error(ErrorCode::kInvalidArgument, "unknown extended fault");
+}
+
+}  // namespace vdb::faults

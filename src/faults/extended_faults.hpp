@@ -1,0 +1,78 @@
+// Extended faultload: the operator-fault types the paper catalogues in
+// Table 2 but excludes from its §4 campaign — most of them *latent* faults
+// against the recovery mechanisms themselves, which "would require two
+// consecutive faults to affect the system in other visible ways".
+//
+// This module makes those two-fault experiments possible:
+//   latent fault (here) + benchmark fault (fault_injector.hpp) =
+//   the paper's proposed follow-up campaign.
+#pragma once
+
+#include <string>
+
+#include "common/status.hpp"
+#include "engine/database.hpp"
+#include "recovery/backup.hpp"
+
+namespace vdb::faults {
+
+/// Table 2 types beyond the six benchmark faults.
+enum class ExtendedFaultType : std::uint8_t {
+  /// Storage admin: corrupt a datafile in place (failed block writes by a
+  /// misbehaving tool). Surfaces as checksum errors; needs media recovery.
+  kCorruptDatafile = 0,
+  /// Recovery admin: delete one member file of a redo group. Harmless when
+  /// the group is multiplexed; fatal for single-member groups.
+  kDeleteRedoMember,
+  /// Recovery admin: delete an archived log — LATENT: breaks the redo
+  /// chain needed by a later media/point-in-time recovery.
+  kDeleteArchiveLog,
+  /// Recovery admin: destroy all backups — LATENT: later restore fails.
+  kDestroyBackups,
+  /// Recovery admin / storage: corrupt one control-file copy — latent
+  /// until the next mount (multiplexing saves it).
+  kCorruptControlFile,
+  /// Storage admin: choke the tablespace quota ("allow a tablespace to run
+  /// out of space"); inserts start failing once the space is consumed.
+  kTablespaceOutOfSpace,
+  /// Storage admin: set a rollback segment offline; capacity shrinks.
+  kRollbackSegmentOffline,
+  /// Memory & processes: kill a user session (transient; the affected
+  /// transaction aborts and the terminal reconnects).
+  kKillUserSession,
+};
+constexpr size_t kExtendedFaultTypeCount = 8;
+const char* to_string(ExtendedFaultType t);
+
+/// Faults that are latent: they have no user-visible effect until a second
+/// fault activates the broken mechanism.
+bool is_latent(ExtendedFaultType t);
+
+struct ExtendedFaultSpec {
+  ExtendedFaultType type = ExtendedFaultType::kDeleteArchiveLog;
+  std::string tablespace = "TPCC";
+  std::uint32_t datafile_index = 0;
+  std::uint32_t redo_group = 0;
+  std::uint32_t redo_member = 0;
+  std::uint32_t rollback_segment = 0;
+  /// kDeleteArchiveLog: which archived sequence to destroy (0 = oldest).
+  std::uint64_t archive_seq = 0;
+  /// kTablespaceOutOfSpace: the quota the careless operator leaves in
+  /// place, in blocks.
+  std::uint32_t quota_blocks = 1;
+};
+
+class ExtendedFaultInjector {
+ public:
+  explicit ExtendedFaultInjector(recovery::BackupManager* backups)
+      : backups_(backups) {}
+
+  /// Executes the wrong operation through the same surfaces an operator
+  /// uses. Latent faults return OK and leave no immediate trace.
+  Status inject(engine::Database& db, const ExtendedFaultSpec& spec);
+
+ private:
+  recovery::BackupManager* backups_;
+};
+
+}  // namespace vdb::faults

@@ -1,0 +1,112 @@
+#include "faults/fault_injector.hpp"
+
+namespace vdb::faults {
+
+const char* to_string(FaultType t) {
+  switch (t) {
+    case FaultType::kShutdownAbort: return "Shutdown abort";
+    case FaultType::kDeleteDatafile: return "Delete datafile";
+    case FaultType::kDeleteTablespace: return "Delete tablespace";
+    case FaultType::kSetDatafileOffline: return "Set datafile offline";
+    case FaultType::kSetTablespaceOffline: return "Set tablespace offline";
+    case FaultType::kDeleteUserObject: return "Delete user's object";
+  }
+  return "?";
+}
+
+RecoveryKind recovery_kind(FaultType t) {
+  switch (t) {
+    case FaultType::kShutdownAbort: return RecoveryKind::kInstanceRestart;
+    case FaultType::kDeleteDatafile: return RecoveryKind::kMediaRecovery;
+    case FaultType::kDeleteTablespace: return RecoveryKind::kPointInTime;
+    case FaultType::kSetDatafileOffline:
+      return RecoveryKind::kDatafileRollForward;
+    case FaultType::kSetTablespaceOffline:
+      return RecoveryKind::kTablespaceOnline;
+    case FaultType::kDeleteUserObject: return RecoveryKind::kPointInTime;
+  }
+  return RecoveryKind::kInstanceRestart;
+}
+
+bool incomplete_recovery(FaultType t) {
+  return recovery_kind(t) == RecoveryKind::kPointInTime;
+}
+
+Result<FileId> FaultInjector::target_datafile(engine::Database& db,
+                                              const FaultSpec& spec) {
+  auto ts = db.storage().find_tablespace(spec.tablespace);
+  if (!ts.is_ok()) return ts.status();
+  auto info = db.storage().tablespace_info(ts.value());
+  if (!info.is_ok()) return info.status();
+  if (spec.datafile_index >= info.value()->files.size()) {
+    return make_error(ErrorCode::kInvalidArgument, "datafile index OOB");
+  }
+  return info.value()->files[spec.datafile_index];
+}
+
+Result<std::string> FaultInjector::script_for(engine::Database& db,
+                                              const FaultSpec& spec) {
+  switch (spec.type) {
+    case FaultType::kShutdownAbort:
+      return std::string{"SHUTDOWN ABORT"};
+    case FaultType::kDeleteDatafile: {
+      auto fid = target_datafile(db, spec);
+      if (!fid.is_ok()) return fid.status();
+      auto info = db.storage().file_info(fid.value());
+      if (!info.is_ok()) return info.status();
+      return "HOST RM " + info.value()->path;
+    }
+    case FaultType::kDeleteTablespace:
+      return "DROP TABLESPACE " + spec.tablespace +
+             " INCLUDING CONTENTS AND DATAFILES";
+    case FaultType::kSetDatafileOffline: {
+      auto fid = target_datafile(db, spec);
+      if (!fid.is_ok()) return fid.status();
+      return "ALTER DATAFILE " + std::to_string(fid.value().value) +
+             " OFFLINE";
+    }
+    case FaultType::kSetTablespaceOffline:
+      return "ALTER TABLESPACE " + spec.tablespace + " OFFLINE";
+    case FaultType::kDeleteUserObject:
+      return "DROP TABLE " + spec.table;
+  }
+  return Status{ErrorCode::kInvalidArgument, "unknown fault type"};
+}
+
+Status FaultInjector::inject(engine::Database& db, const FaultSpec& spec) {
+  injected_ += 1;
+  switch (spec.type) {
+    case FaultType::kShutdownAbort:
+      // The operator types SHUTDOWN ABORT at the wrong console.
+      return db.shutdown_abort();
+
+    case FaultType::kDeleteDatafile: {
+      // An OS-level `rm` on a live datafile.
+      auto fid = target_datafile(db, spec);
+      if (!fid.is_ok()) return fid.status();
+      auto info = db.storage().file_info(fid.value());
+      if (!info.is_ok()) return info.status();
+      return db.host().fs().remove(info.value()->path);
+    }
+
+    case FaultType::kDeleteTablespace:
+      // DROP TABLESPACE ... INCLUDING CONTENTS AND DATAFILES.
+      return db.drop_tablespace(spec.tablespace, /*delete_files=*/true);
+
+    case FaultType::kSetDatafileOffline: {
+      auto fid = target_datafile(db, spec);
+      if (!fid.is_ok()) return fid.status();
+      return db.alter_datafile_offline(fid.value());
+    }
+
+    case FaultType::kSetTablespaceOffline:
+      return db.alter_tablespace_offline(spec.tablespace);
+
+    case FaultType::kDeleteUserObject:
+      // DROP TABLE on another user's table.
+      return db.drop_table(spec.table);
+  }
+  return make_error(ErrorCode::kInvalidArgument, "unknown fault type");
+}
+
+}  // namespace vdb::faults

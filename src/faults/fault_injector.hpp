@@ -1,0 +1,79 @@
+// Operator-fault injector.
+//
+// Reproduces — not emulates — administrator mistakes: every fault executes
+// through exactly the interface a real operator would use (the engine's
+// administration API or a filesystem remove), following the paper's
+// methodology (§3.2). The injector also knows, per fault type, which
+// recovery procedure a competent DBA would start after the (fixed)
+// detection time.
+#pragma once
+
+#include <string>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "engine/database.hpp"
+
+namespace vdb::faults {
+
+/// The benchmark faultload: the six types selected in §4.
+enum class FaultType : std::uint8_t {
+  kShutdownAbort = 0,
+  kDeleteDatafile,
+  kDeleteTablespace,
+  kSetDatafileOffline,
+  kSetTablespaceOffline,
+  kDeleteUserObject,
+};
+constexpr size_t kFaultTypeCount = 6;
+const char* to_string(FaultType t);
+
+/// Which recovery procedure the fault requires.
+enum class RecoveryKind : std::uint8_t {
+  kInstanceRestart,    // crash recovery on startup
+  kMediaRecovery,      // restore file + roll forward (complete)
+  kPointInTime,        // full restore + stop before DDL (incomplete)
+  kDatafileRollForward,  // online redo roll of offline file (complete)
+  kTablespaceOnline,   // ALTER TABLESPACE ... ONLINE (complete, ~1 s)
+};
+RecoveryKind recovery_kind(FaultType t);
+
+/// Faults whose recovery is incomplete (loses committed transactions).
+bool incomplete_recovery(FaultType t);
+
+struct FaultSpec {
+  FaultType type = FaultType::kShutdownAbort;
+  /// Trigger instant, relative to workload start (paper: 150/300/600 s).
+  SimDuration inject_at = 300 * kSecond;
+  /// Target tablespace (storage faults) — default the TPC-C tablespace.
+  std::string tablespace = "TPCC";
+  /// Target table (delete user's object).
+  std::string table = "history";
+  /// Which datafile of the tablespace (datafile faults).
+  std::uint32_t datafile_index = 0;
+};
+
+class FaultInjector {
+ public:
+  /// Executes the wrong operation immediately. Returns the fault's own
+  /// status (a fault can "fail" only if its target does not exist).
+  Status inject(engine::Database& db, const FaultSpec& spec);
+
+  /// Resolves the FileId a datafile fault targets.
+  static Result<FileId> target_datafile(engine::Database& db,
+                                        const FaultSpec& spec);
+
+  /// The admin-shell script a careless operator would type to produce this
+  /// fault — injecting via AdminShell::run_script(script_for(...)) has the
+  /// same effect as inject(), which the tests verify. This mirrors the
+  /// paper's methodology: faults are Perl/SQL scripts of real commands.
+  static Result<std::string> script_for(engine::Database& db,
+                                        const FaultSpec& spec);
+
+  std::uint64_t injected_count() const { return injected_; }
+
+ private:
+  std::uint64_t injected_ = 0;
+};
+
+}  // namespace vdb::faults

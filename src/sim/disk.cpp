@@ -1,0 +1,19 @@
+#include "sim/disk.hpp"
+
+namespace vdb::sim {
+
+SimTime Disk::submit(SimTime now, std::uint64_t bytes, bool sequential) {
+  const SimTime start = std::max(now, busy_until_);
+  const SimDuration seek =
+      sequential ? params_.sequential_seek_time : params_.seek_time;
+  const SimDuration transfer =
+      bytes * kSecond / params_.bandwidth_bytes_per_sec;
+  const SimTime done = start + seek + transfer;
+  busy_until_ = done;
+  stats_.requests += 1;
+  stats_.bytes += bytes;
+  stats_.busy_time += seek + transfer;
+  return done;
+}
+
+}  // namespace vdb::sim

@@ -1,0 +1,200 @@
+#include "sim/filesystem.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace vdb::sim {
+
+void SimFs::mount(std::string prefix, Disk* disk) {
+  VDB_CHECK(disk != nullptr);
+  mounts_[std::move(prefix)] = disk;
+}
+
+Disk* SimFs::disk_for(std::string_view path) const {
+  // mounts_ is sorted descending, so the first prefix match is the longest.
+  for (const auto& [prefix, disk] : mounts_) {
+    if (path.substr(0, prefix.size()) == prefix) return disk;
+  }
+  return nullptr;
+}
+
+Status SimFs::create(const std::string& path) {
+  if (files_.contains(path)) {
+    return make_error(ErrorCode::kAlreadyExists, "file exists: " + path);
+  }
+  Disk* disk = disk_for(path);
+  if (disk == nullptr) {
+    return make_error(ErrorCode::kInvalidArgument, "no mount for: " + path);
+  }
+  files_[path] = File{disk, {}, 0, false};
+  return Status::ok();
+}
+
+bool SimFs::exists(const std::string& path) const {
+  return files_.contains(path);
+}
+
+Status SimFs::remove(const std::string& path) {
+  if (files_.erase(path) == 0) {
+    return make_error(ErrorCode::kNotFound, "no such file: " + path);
+  }
+  return Status::ok();
+}
+
+Status SimFs::corrupt(const std::string& path) {
+  auto file = find(path);
+  if (!file.is_ok()) return file.status();
+  file.value()->corrupted = true;
+  return Status::ok();
+}
+
+bool SimFs::is_corrupted(const std::string& path) const {
+  auto file = find(path);
+  return file.is_ok() && file.value()->corrupted;
+}
+
+Result<std::uint64_t> SimFs::size(const std::string& path) const {
+  auto file = find(path);
+  if (!file.is_ok()) return file.status();
+  return static_cast<std::uint64_t>(file.value()->data.size());
+}
+
+void SimFs::charge(Disk* disk, std::uint64_t bytes, IoMode mode,
+                   bool sequential) {
+  const SimTime before = clock_->now();
+  const SimTime done = disk->submit(before, bytes, sequential);
+  if (mode == IoMode::kForeground) {
+    // Diagnostic: long foreground waits (device contention) when tracing.
+    if (done - before > 100 * kMillisecond &&
+        std::getenv("VDB_TRACE_WAIT") != nullptr) {
+      std::fprintf(stderr, "[wait] disk=%s %llu us\n", disk->name().c_str(),
+                   static_cast<unsigned long long>(done - before));
+    }
+    clock_->advance_to(done);
+  }
+}
+
+Status SimFs::write(const std::string& path, std::uint64_t offset,
+                    std::span<const std::uint8_t> data, IoMode mode,
+                    bool sequential) {
+  auto file = find(path);
+  if (!file.is_ok()) return file.status();
+  File& f = *file.value();
+  if (f.data.size() < offset + data.size()) f.data.resize(offset + data.size());
+  std::copy(data.begin(), data.end(), f.data.begin() + static_cast<long>(offset));
+  f.charged = std::max<std::uint64_t>(f.charged, f.data.size());
+  charge(f.disk, data.size(), mode, sequential);
+  return Status::ok();
+}
+
+Status SimFs::append(const std::string& path,
+                     std::span<const std::uint8_t> data, IoMode mode,
+                     std::uint64_t charge_bytes) {
+  auto file = find(path);
+  if (!file.is_ok()) return file.status();
+  File& f = *file.value();
+  f.data.insert(f.data.end(), data.begin(), data.end());
+  const std::uint64_t charged =
+      charge_bytes == kChargeActual ? data.size() : charge_bytes;
+  f.charged += charged;
+  charge(f.disk, charged, mode, /*sequential=*/true);
+  return Status::ok();
+}
+
+Result<std::uint64_t> SimFs::charged_size(const std::string& path) const {
+  auto file = find(path);
+  if (!file.is_ok()) return file.status();
+  return file.value()->charged;
+}
+
+Result<std::vector<std::uint8_t>> SimFs::read(const std::string& path,
+                                              std::uint64_t offset,
+                                              std::uint64_t len, IoMode mode,
+                                              bool sequential) {
+  auto file = find(path);
+  if (!file.is_ok()) return file.status();
+  const File& f = *file.value();
+  if (f.corrupted) {
+    return make_error(ErrorCode::kCorruption, "corrupted file: " + path);
+  }
+  if (offset + len > f.data.size()) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "read past end of " + path);
+  }
+  std::vector<std::uint8_t> out(
+      f.data.begin() + static_cast<long>(offset),
+      f.data.begin() + static_cast<long>(offset + len));
+  charge(f.disk, len, mode, sequential);
+  return out;
+}
+
+Result<std::vector<std::uint8_t>> SimFs::read_all(const std::string& path,
+                                                  IoMode mode) {
+  auto file = find(path);
+  if (!file.is_ok()) return file.status();
+  const File& f = *file.value();
+  if (f.corrupted) {
+    return make_error(ErrorCode::kCorruption, "corrupted file: " + path);
+  }
+  std::vector<std::uint8_t> out = f.data;
+  charge(f.disk, f.charged, mode, /*sequential=*/true);
+  return out;
+}
+
+Status SimFs::truncate(const std::string& path, std::uint64_t new_size) {
+  auto file = find(path);
+  if (!file.is_ok()) return file.status();
+  file.value()->data.resize(new_size);
+  file.value()->charged = new_size;
+  return Status::ok();
+}
+
+Status SimFs::copy(const std::string& src, const std::string& dst,
+                   IoMode mode) {
+  auto sfile = find(src);
+  if (!sfile.is_ok()) return sfile.status();
+  if (sfile.value()->corrupted) {
+    return make_error(ErrorCode::kCorruption, "corrupted file: " + src);
+  }
+  if (!files_.contains(dst)) {
+    VDB_RETURN_IF_ERROR(create(dst));
+  }
+  // Re-find src: create() may have invalidated the iterator's referent map
+  // node ordering (std::map nodes are stable, but be explicit and safe).
+  File& s = *find(src).value();
+  File& d = *find(dst).value();
+  d.data = s.data;
+  d.charged = s.charged;
+  d.corrupted = false;
+  charge(s.disk, s.charged, mode, /*sequential=*/true);
+  charge(d.disk, d.charged, mode, /*sequential=*/true);
+  return Status::ok();
+}
+
+std::vector<std::string> SimFs::list(const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (const auto& [path, file] : files_) {
+    if (path.compare(0, prefix.size(), prefix) == 0) out.push_back(path);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<SimFs::File*> SimFs::find(const std::string& path) {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return make_error(ErrorCode::kNotFound, "no such file: " + path);
+  }
+  return &it->second;
+}
+
+Result<const SimFs::File*> SimFs::find(const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return make_error(ErrorCode::kNotFound, "no such file: " + path);
+  }
+  return &it->second;
+}
+
+}  // namespace vdb::sim

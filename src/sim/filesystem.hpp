@@ -1,0 +1,106 @@
+// Simulated filesystem.
+//
+// Database files (control file, datafiles, online redo logs, archived logs,
+// backups) live here as named byte arrays placed on simulated disks via
+// mount points. This is also the surface the operator-fault injector uses:
+// deleting or corrupting a datafile is a real remove()/corrupt() on this
+// filesystem, exactly like an `rm` issued by a careless administrator.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "sim/disk.hpp"
+#include "sim/virtual_clock.hpp"
+
+namespace vdb::sim {
+
+/// Foreground I/O blocks the caller (advances the shared clock to request
+/// completion); background I/O only occupies the device.
+enum class IoMode { kForeground, kBackground };
+
+class SimFs {
+ public:
+  explicit SimFs(VirtualClock* clock) : clock_(clock) {}
+
+  /// Routes paths with this prefix to `disk`. Longest-prefix match wins.
+  /// Disks are owned by the caller and must outlive the filesystem.
+  void mount(std::string prefix, Disk* disk);
+
+  Status create(const std::string& path);
+  bool exists(const std::string& path) const;
+  Status remove(const std::string& path);
+
+  /// Marks the file corrupted; subsequent reads fail with kCorruption.
+  /// This models an operator overwriting / mangling a file in place.
+  Status corrupt(const std::string& path);
+  bool is_corrupted(const std::string& path) const;
+
+  Result<std::uint64_t> size(const std::string& path) const;
+
+  /// Writes (extending the file if needed) at `offset`.
+  Status write(const std::string& path, std::uint64_t offset,
+               std::span<const std::uint8_t> data, IoMode mode,
+               bool sequential = false);
+
+  /// `charge_bytes` lets the caller account more bytes than are physically
+  /// stored: redo records carry realistic logical sizes (Oracle redo entries
+  /// are far larger than our compact encodings) without materializing pad
+  /// bytes. Defaults to data.size(). The file's charged size drives the I/O
+  /// cost of later read_all()/copy() calls.
+  Status append(const std::string& path, std::span<const std::uint8_t> data,
+                IoMode mode, std::uint64_t charge_bytes = kChargeActual);
+
+  static constexpr std::uint64_t kChargeActual = ~std::uint64_t{0};
+
+  /// Size used for I/O charging (>= physical size when pads were declared).
+  Result<std::uint64_t> charged_size(const std::string& path) const;
+
+  Result<std::vector<std::uint8_t>> read(const std::string& path,
+                                         std::uint64_t offset,
+                                         std::uint64_t len, IoMode mode,
+                                         bool sequential = false);
+
+  Result<std::vector<std::uint8_t>> read_all(const std::string& path,
+                                             IoMode mode);
+
+  Status truncate(const std::string& path, std::uint64_t new_size);
+
+  /// Whole-file copy, charging a sequential read on the source disk and a
+  /// sequential write on the destination disk (backup / archive copy model).
+  Status copy(const std::string& src, const std::string& dst, IoMode mode);
+
+  /// Paths starting with `prefix`, sorted lexicographically.
+  std::vector<std::string> list(const std::string& prefix) const;
+
+  /// Disk a path would be placed on (nullptr if no mount matches).
+  Disk* disk_for(std::string_view path) const;
+
+  VirtualClock& clock() { return *clock_; }
+
+ private:
+  struct File {
+    Disk* disk = nullptr;
+    std::vector<std::uint8_t> data;
+    std::uint64_t charged = 0;  // logical size for I/O accounting
+    bool corrupted = false;
+  };
+
+  /// Charges the I/O and, in foreground mode, blocks until completion.
+  void charge(Disk* disk, std::uint64_t bytes, IoMode mode, bool sequential);
+
+  Result<File*> find(const std::string& path);
+  Result<const File*> find(const std::string& path) const;
+
+  VirtualClock* clock_;
+  std::map<std::string, Disk*, std::greater<>> mounts_;  // longest prefix first
+  std::map<std::string, File> files_;
+};
+
+}  // namespace vdb::sim

@@ -1,0 +1,44 @@
+// A simulated host: a set of disks plus a filesystem, sharing the global
+// virtual clock. The paper's testbed is two such machines (primary and
+// stand-by), each with four disks, connected by a network link.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/disk.hpp"
+#include "sim/filesystem.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/virtual_clock.hpp"
+
+namespace vdb::sim {
+
+class Host {
+ public:
+  Host(std::string name, VirtualClock* clock)
+      : name_(std::move(name)), fs_(clock) {}
+
+  /// Adds a disk and mounts `mount_point` on it. Mirrors the paper's layout
+  /// of separating data, redo, archive, and backup devices.
+  Disk* add_disk(const std::string& mount_point, DiskParams params = {}) {
+    auto disk = std::make_unique<Disk>(
+        DiskId{static_cast<std::uint32_t>(disks_.size())},
+        name_ + ":" + mount_point, params);
+    Disk* raw = disk.get();
+    disks_.push_back(std::move(disk));
+    fs_.mount(mount_point, raw);
+    return raw;
+  }
+
+  const std::string& name() const { return name_; }
+  SimFs& fs() { return fs_; }
+  const std::vector<std::unique_ptr<Disk>>& disks() const { return disks_; }
+
+ private:
+  std::string name_;
+  SimFs fs_;
+  std::vector<std::unique_ptr<Disk>> disks_;
+};
+
+}  // namespace vdb::sim

@@ -1,0 +1,17 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+
+namespace vdb::sim {
+
+SimTime NetworkLink::transfer(SimTime now, std::uint64_t bytes) {
+  const SimTime start = std::max(now, busy_until_);
+  const SimDuration duration =
+      params_.latency + bytes * kSecond / params_.bandwidth_bytes_per_sec;
+  busy_until_ = start + duration;
+  stats_.transfers += 1;
+  stats_.bytes += bytes;
+  return busy_until_;
+}
+
+}  // namespace vdb::sim

@@ -1,0 +1,42 @@
+// Simulated point-to-point network link.
+//
+// Models the dedicated fast-Ethernet link between the primary and stand-by
+// hosts in the paper's testbed. Archive-log shipping charges transfer time
+// here; the overhead is part of the stand-by configuration's performance
+// cost (paper §5.3).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "sim/virtual_clock.hpp"
+
+namespace vdb::sim {
+
+struct NetworkParams {
+  std::uint64_t bandwidth_bytes_per_sec = 12ull * 1024 * 1024;  // ~100 Mbit/s
+  SimDuration latency = 300 * kMicrosecond;
+};
+
+struct NetworkStats {
+  std::uint64_t transfers = 0;
+  std::uint64_t bytes = 0;
+};
+
+class NetworkLink {
+ public:
+  explicit NetworkLink(NetworkParams params = {}) : params_(params) {}
+
+  /// Completion time of a transfer of `bytes` submitted at `now`. The link
+  /// serializes transfers like the disk model.
+  SimTime transfer(SimTime now, std::uint64_t bytes);
+
+  const NetworkStats& stats() const { return stats_; }
+
+ private:
+  NetworkParams params_;
+  SimTime busy_until_{0};
+  NetworkStats stats_;
+};
+
+}  // namespace vdb::sim

@@ -1,0 +1,62 @@
+#include "sim/scheduler.hpp"
+
+namespace vdb::sim {
+
+EventHandle Scheduler::schedule_at(SimTime at, std::function<void()> fn) {
+  VDB_CHECK_MSG(at >= clock_->now(), "event scheduled in the past");
+  auto alive = std::make_shared<bool>(true);
+  queue_.push(Event{at, next_seq_++, std::move(fn), alive});
+  return EventHandle{std::move(alive)};
+}
+
+EventHandle Scheduler::schedule_every(SimDuration period,
+                                      std::function<void()> fn) {
+  VDB_CHECK(period > 0);
+  auto alive = std::make_shared<bool>(true);
+
+  // Self-rescheduling wrapper. It re-arms only while the shared token is
+  // still set, so cancel() stops the chain.
+  auto arm = std::make_shared<std::function<void(SimTime)>>();
+  *arm = [this, period, fn = std::move(fn), alive, arm](SimTime at) {
+    queue_.push(Event{at, next_seq_++,
+                      [this, period, fn, alive, arm, at] {
+                        fn();
+                        if (*alive) (*arm)(at + period);
+                      },
+                      alive});
+  };
+  (*arm)(clock_->now() + period);
+  return EventHandle{std::move(alive)};
+}
+
+void Scheduler::run_due() {
+  while (!queue_.empty() && queue_.top().at <= clock_->now()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (!*ev.alive) continue;
+    // The event's nominal time may be earlier than now if the caller
+    // advanced the clock in a block (e.g. a long transaction); events still
+    // run in timestamp order.
+    ev.fn();
+  }
+}
+
+void Scheduler::run_until(SimTime t) {
+  VDB_CHECK(t >= clock_->now());
+  while (!queue_.empty() && queue_.top().at <= t) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (!*ev.alive) continue;
+    if (ev.at > clock_->now()) clock_->advance_to(ev.at);
+    ev.fn();
+  }
+  clock_->advance_to(t);
+}
+
+SimTime Scheduler::next_event_time() const {
+  // Cancelled events may sit at the head; peeking past them would require a
+  // mutable pop, so report the head time (a harmless early wake-up).
+  return queue_.empty() ? kNoEvent : queue_.top().at;
+}
+
+}  // namespace vdb::sim

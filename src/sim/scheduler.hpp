@@ -1,0 +1,89 @@
+// Discrete-event scheduler.
+//
+// Background database processes (checkpointer timeouts, archiver polls,
+// standby apply, fault triggers) register callbacks here. The workload
+// driver interleaves transaction execution with `run_due()` so that events
+// fire at their exact simulated instants.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/virtual_clock.hpp"
+
+namespace vdb::sim {
+
+/// Cancellation token for a scheduled event. Destroying the handle does NOT
+/// cancel; call cancel() explicitly.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  void cancel() {
+    if (alive_) *alive_ = false;
+  }
+  bool pending() const { return alive_ && *alive_; }
+
+ private:
+  friend class Scheduler;
+  explicit EventHandle(std::shared_ptr<bool> alive)
+      : alive_(std::move(alive)) {}
+
+  std::shared_ptr<bool> alive_;
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(VirtualClock* clock) : clock_(clock) {}
+
+  VirtualClock& clock() { return *clock_; }
+  SimTime now() const { return clock_->now(); }
+
+  /// Fires `fn` once when the clock reaches `at` (>= now).
+  EventHandle schedule_at(SimTime at, std::function<void()> fn);
+
+  EventHandle schedule_after(SimDuration delay, std::function<void()> fn) {
+    return schedule_at(clock_->now() + delay, std::move(fn));
+  }
+
+  /// Fires `fn` every `period`, first firing at now + period. The callback
+  /// runs until the handle is cancelled.
+  EventHandle schedule_every(SimDuration period, std::function<void()> fn);
+
+  /// Runs every event due at or before the current time. Events scheduled
+  /// by running events at <= now also run.
+  void run_due();
+
+  /// Advances the clock to `t`, firing events at their exact timestamps on
+  /// the way. Afterwards now() == t.
+  void run_until(SimTime t);
+
+  /// Time of the earliest pending event, or kNoEvent when idle.
+  static constexpr SimTime kNoEvent = ~SimTime{0};
+  SimTime next_event_time() const;
+
+  size_t pending_count() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;  // FIFO among same-time events → determinism
+    std::function<void()> fn;
+    std::shared_ptr<bool> alive;
+
+    bool operator>(const Event& other) const {
+      if (at != other.at) return at > other.at;
+      return seq > other.seq;
+    }
+  };
+
+  VirtualClock* clock_;
+  std::uint64_t next_seq_{0};
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+};
+
+}  // namespace vdb::sim

@@ -1,0 +1,169 @@
+#include "standby/standby.hpp"
+
+#include <algorithm>
+
+#include "wal/log_record.hpp"
+
+namespace vdb::standby {
+
+namespace {
+constexpr size_t kGroupHeaderSize = 20;
+}
+
+StandbyDatabase::StandbyDatabase(sim::Host* standby_host,
+                                 sim::Scheduler* scheduler, StandbyConfig cfg,
+                                 sim::NetworkLink* link)
+    : host_(standby_host), scheduler_(scheduler), cfg_(std::move(cfg)),
+      link_(link) {}
+
+Status StandbyDatabase::instantiate_from(engine::Database& primary,
+                                         recovery::BackupManager& backups) {
+  VDB_CHECK_MSG(!instantiated_, "standby already instantiated");
+
+  // A standby starts life as a restored backup of the primary.
+  auto set_id = backups.take_backup(primary);
+  if (!set_id.is_ok()) return set_id.status();
+  const auto set = backups.newest();
+  VDB_CHECK(set.has_value());
+
+  sim::SimFs& primary_fs = primary.host().fs();
+  sim::SimFs& standby_fs = host_->fs();
+  SimTime arrival = scheduler_->now();
+  for (const auto& entry : set->files) {
+    auto bytes = primary_fs.read_all(entry.backup_path,
+                                     sim::IoMode::kBackground);
+    if (!bytes.is_ok()) return bytes.status();
+    arrival = link_->transfer(arrival, bytes.value().size());
+    if (!standby_fs.exists(entry.original_path)) {
+      VDB_RETURN_IF_ERROR(standby_fs.create(entry.original_path));
+    }
+    VDB_RETURN_IF_ERROR(standby_fs.truncate(entry.original_path, 0));
+    VDB_RETURN_IF_ERROR(standby_fs.write(entry.original_path, 0,
+                                         bytes.value(),
+                                         sim::IoMode::kBackground,
+                                         /*sequential=*/true));
+  }
+  busy_until_ = std::max(busy_until_, arrival);
+
+  db_ = std::make_unique<engine::Database>(host_, scheduler_, cfg_.db);
+  VDB_RETURN_IF_ERROR(db_->mount_from_control(set->control));
+  db_->set_recovering(true);
+  db_->storage().cache().set_io_mode(sim::IoMode::kBackground);
+  applied_to_ = set->backup_lsn;
+  instantiated_ = true;
+  return Status::ok();
+}
+
+void StandbyDatabase::on_primary_archive(sim::SimFs& primary_fs,
+                                         const std::string& path,
+                                         std::uint64_t seq,
+                                         SimTime archive_done_at) {
+  if (!instantiated_ || activated_) return;
+
+  // Read the archive on the primary (background I/O on its archive disk —
+  // part of the standby configuration's overhead on the primary).
+  auto bytes = primary_fs.read_all(path, sim::IoMode::kBackground);
+  if (!bytes.is_ok()) return;
+
+  // Ship it: the transfer can only start once the archive copy finished.
+  const SimTime send_at = std::max(scheduler_->now(), archive_done_at);
+  const SimTime arrival = link_->transfer(send_at, bytes.value().size());
+  last_arrival_ = std::max(last_arrival_, arrival);
+
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "/arch_%08llu.log",
+                static_cast<unsigned long long>(seq));
+  const std::string standby_path = cfg_.db.redo.archive_dir + buf;
+
+  // State lands now; the time cost is horizon-accounted at arrival.
+  sim::SimFs& standby_fs = host_->fs();
+  if (!standby_fs.exists(standby_path)) {
+    if (!standby_fs.create(standby_path).is_ok()) return;
+  }
+  (void)standby_fs.truncate(standby_path, 0);
+  (void)standby_fs.write(standby_path, 0, bytes.value(),
+                         sim::IoMode::kBackground, /*sequential=*/true);
+
+  busy_until_ = std::max(busy_until_, arrival);
+  apply_archive(standby_path);
+}
+
+void StandbyDatabase::apply_archive(const std::string& standby_path) {
+  auto bytes = host_->fs().read_all(standby_path, sim::IoMode::kBackground);
+  if (!bytes.is_ok()) return;
+
+  std::uint64_t records = 0;
+  (void)wal::parse_records(
+      std::span<const std::uint8_t>(bytes.value()).subspan(kGroupHeaderSize),
+      [&](const wal::LogRecord& rec) {
+        records += 1;
+        Status st = db_->apply_record(rec);
+        (void)st;  // gaps impossible: archives arrive in sequence order
+        applied_to_ = std::max(applied_to_, rec.lsn);
+        switch (rec.type) {
+          case wal::LogRecordType::kCommit:
+          case wal::LogRecordType::kAbort:
+            live_.erase(rec.txn.value);
+            ended_.insert(rec.txn.value);
+            break;
+          case wal::LogRecordType::kCheckpoint:
+            for (const auto& snap : rec.active_txns) {
+              if (ended_.contains(snap.txn.value)) continue;
+              LoserTrack track;
+              track.ops = snap.ops;
+              live_[snap.txn.value] = std::move(track);
+            }
+            break;
+          case wal::LogRecordType::kInsert:
+          case wal::LogRecordType::kUpdate:
+          case wal::LogRecordType::kDelete:
+            if (rec.is_clr) {
+              live_[rec.txn.value].clrs += 1;
+            } else {
+              live_[rec.txn.value].ops.push_back(
+                  wal::UndoOp{rec.lsn, rec.type, rec.dml});
+            }
+            break;
+          default:
+            break;
+        }
+        return true;
+      });
+  records_applied_ += records;
+  archives_applied_ += 1;
+  busy_until_ += records * cfg_.db.cost.cpu_per_replay_record;
+}
+
+Result<ActivationReport> StandbyDatabase::activate() {
+  VDB_CHECK_MSG(instantiated_, "standby never instantiated");
+  VDB_CHECK_MSG(!activated_, "standby already active");
+
+  // Wait for managed recovery to drain whatever has been shipped.
+  sim::VirtualClock& clock = scheduler_->clock();
+  const SimTime ready = std::max({clock.now(), busy_until_, last_arrival_});
+  if (ready > clock.now()) clock.advance_to(ready);
+  clock.advance_by(cfg_.activation_cost);
+
+  // Open with RESETLOGS: the standby becomes the new primary incarnation.
+  db_->storage().cache().set_io_mode(sim::IoMode::kForeground);
+  const Lsn reset_at = applied_to_ + (1u << 20);
+  VDB_RETURN_IF_ERROR(db_->redo().resetlogs(reset_at));
+  // The applied redo may end mid-transaction: roll those losers back
+  // before opening (still in recovery mode; CLRs land in the new redo).
+  for (auto it = live_.rbegin(); it != live_.rend(); ++it) {
+    if (it->second.ops.empty()) continue;
+    VDB_RETURN_IF_ERROR(db_->undo_incomplete_txn(
+        TxnId{it->first}, it->second.ops, it->second.clrs));
+  }
+  db_->set_recovering(false);
+  VDB_RETURN_IF_ERROR(db_->open_after_external_recovery());
+  activated_ = true;
+
+  ActivationReport report;
+  report.recovered_to = applied_to_;
+  report.archives_applied = archives_applied_;
+  report.records_applied = records_applied_;
+  return report;
+}
+
+}  // namespace vdb::standby

@@ -1,0 +1,198 @@
+#include "storage/buffer_cache.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace vdb::storage {
+
+PageRef& PageRef::operator=(PageRef&& other) noexcept {
+  if (this != &other) {
+    if (cache_ != nullptr) cache_->unpin(id_);
+    cache_ = other.cache_;
+    id_ = other.id_;
+    page_ = other.page_;
+    other.cache_ = nullptr;
+    other.page_ = nullptr;
+  }
+  return *this;
+}
+
+PageRef::~PageRef() {
+  if (cache_ != nullptr) cache_->unpin(id_);
+}
+
+BufferCache::BufferCache(PageStore* store, std::uint32_t capacity,
+                         std::function<void(Lsn)> wal_flush)
+    : store_(store), capacity_(capacity), wal_flush_(std::move(wal_flush)) {
+  VDB_CHECK(capacity_ > 0);
+}
+
+Result<PageRef> BufferCache::fetch(PageId id) {
+  auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    stats_.hits += 1;
+    Frame& f = *it->second;
+    f.pins += 1;
+    f.lru_tick = ++tick_;
+    return PageRef{this, id, &f.page};
+  }
+
+  stats_.misses += 1;
+  while (frames_.size() >= capacity_) {
+    VDB_RETURN_IF_ERROR(evict_one());
+  }
+
+  auto frame = std::make_unique<Frame>();
+  frame->id = id;
+  Status st = store_->load_page(id, &frame->page, io_mode_);
+  if (!st.is_ok()) return st;
+  frame->pins = 1;
+  frame->lru_tick = ++tick_;
+  Page* page = &frame->page;
+  frames_[id] = std::move(frame);
+  return PageRef{this, id, page};
+}
+
+void BufferCache::mark_dirty(PageId id, SimTime now) {
+  auto it = frames_.find(id);
+  VDB_CHECK_MSG(it != frames_.end(), "mark_dirty on non-resident page");
+  VDB_CHECK_MSG(it->second->pins > 0, "mark_dirty on unpinned page");
+  Frame& frame = *it->second;
+  if (!frame.dirty) {
+    frame.dirty = true;
+    frame.dirty_since = now;
+    frame.rec_lsn = frame.page.lsn();
+  }
+}
+
+CheckpointResult BufferCache::flush_aged(SimTime older_than) {
+  CheckpointResult result;
+  for (auto& [id, frame] : frames_) {
+    if (!frame->dirty || frame->dirty_since > older_than) continue;
+    wal_flush_(frame->page.lsn());
+    Status st = store_->store_page(id, frame->page, sim::IoMode::kBackground,
+                                   /*batched=*/true);
+    if (st.is_ok()) {
+      frame->dirty = false;
+      result.pages_written += 1;
+      stats_.dirty_writes += 1;
+    } else {
+      result.failures.emplace_back(id, st);
+    }
+  }
+  return result;
+}
+
+Lsn BufferCache::min_dirty_rec_lsn() const {
+  Lsn min_lsn = kInvalidLsn;
+  for (const auto& [id, frame] : frames_) {
+    if (frame->dirty) min_lsn = std::min(min_lsn, frame->rec_lsn);
+  }
+  return min_lsn;
+}
+
+void BufferCache::unpin(PageId id) {
+  auto it = frames_.find(id);
+  if (it == frames_.end()) return;  // frame discarded while pinned-ref lived
+  VDB_CHECK(it->second->pins > 0);
+  it->second->pins -= 1;
+}
+
+Status BufferCache::evict_one() {
+  Frame* victim = nullptr;
+  for (auto& [id, frame] : frames_) {
+    if (frame->pins > 0) continue;
+    if (victim == nullptr || frame->lru_tick < victim->lru_tick) {
+      victim = frame.get();
+    }
+  }
+  if (victim == nullptr) {
+    return make_error(ErrorCode::kInternal, "buffer cache: all pages pinned");
+  }
+  if (victim->dirty) {
+    wal_flush_(victim->page.lsn());
+    Status st = store_->store_page(victim->id, victim->page, io_mode_,
+                                   /*batched=*/false);
+    // A failed write (missing datafile) still frees the frame: the change
+    // is preserved in the redo stream and will be reapplied by media
+    // recovery, exactly as in the modelled DBMS.
+    if (st.is_ok()) stats_.dirty_writes += 1;
+  }
+  stats_.evictions += 1;
+  frames_.erase(victim->id);
+  return Status::ok();
+}
+
+CheckpointResult BufferCache::checkpoint() {
+  CheckpointResult result;
+  stats_.checkpoints += 1;
+
+  // Flush the log once past the newest dirty page.
+  Lsn max_lsn = 0;
+  for (auto& [id, frame] : frames_) {
+    if (frame->dirty) max_lsn = std::max(max_lsn, frame->page.lsn());
+  }
+  if (max_lsn > 0) wal_flush_(max_lsn);
+
+  for (auto& [id, frame] : frames_) {
+    if (!frame->dirty) continue;
+    Status st = store_->store_page(id, frame->page, sim::IoMode::kBackground,
+                                   /*batched=*/true);
+    if (st.is_ok()) {
+      frame->dirty = false;
+      result.pages_written += 1;
+      stats_.dirty_writes += 1;
+      stats_.checkpoint_pages += 1;
+    } else {
+      result.failures.emplace_back(id, st);
+    }
+  }
+  return result;
+}
+
+CheckpointResult BufferCache::flush_file(FileId file) {
+  CheckpointResult result;
+  for (auto& [id, frame] : frames_) {
+    if (id.file != file || !frame->dirty) continue;
+    wal_flush_(frame->page.lsn());
+    Status st = store_->store_page(id, frame->page, sim::IoMode::kBackground,
+                                   /*batched=*/true);
+    if (st.is_ok()) {
+      frame->dirty = false;
+      result.pages_written += 1;
+      stats_.dirty_writes += 1;
+    } else {
+      result.failures.emplace_back(id, st);
+    }
+  }
+  return result;
+}
+
+void BufferCache::discard_file(FileId file) {
+  for (auto it = frames_.begin(); it != frames_.end();) {
+    if (it->first.file == file) {
+      VDB_CHECK_MSG(it->second->pins == 0, "discarding pinned page");
+      it = frames_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void BufferCache::discard_all() {
+  for (auto& [id, frame] : frames_) {
+    VDB_CHECK_MSG(frame->pins == 0, "discarding pinned page");
+  }
+  frames_.clear();
+}
+
+std::uint64_t BufferCache::dirty_count() const {
+  std::uint64_t n = 0;
+  for (const auto& [id, frame] : frames_) {
+    if (frame->dirty) ++n;
+  }
+  return n;
+}
+
+}  // namespace vdb::storage

@@ -1,0 +1,109 @@
+#include "storage/page.hpp"
+
+#include <cstring>
+
+#include "common/codec.hpp"
+
+namespace vdb::storage {
+
+std::uint16_t Page::capacity_for(std::uint16_t slot_size) {
+  const size_t stride = slot_size + 2u;
+  // Start from the bitmap-free bound and walk down until header + bitmap +
+  // slots fit.
+  size_t cap = (kSize - kHeaderBase) / stride;
+  while (cap > 0 && kHeaderBase + (cap + 7) / 8 + cap * stride > kSize) {
+    --cap;
+  }
+  VDB_CHECK_MSG(cap > 0, "slot size too large for page");
+  return static_cast<std::uint16_t>(cap);
+}
+
+void Page::format(TableId owner, std::uint16_t slot_size) {
+  buf_.fill(0);
+  set_u16(4, kMagic);
+  set_u16(6, slot_size);
+  set_u32(16, owner.value);
+  set_u16(20, capacity_for(slot_size));
+  set_u16(22, 0);
+}
+
+bool Page::slot_used(std::uint16_t slot) const {
+  VDB_CHECK(slot < capacity());
+  return (buf_[bitmap_offset() + slot / 8] >> (slot % 8)) & 1;
+}
+
+std::uint16_t Page::find_free_slot() const {
+  const std::uint16_t cap = capacity();
+  if (used_count() >= cap) return kNoSlot;
+  for (std::uint16_t s = 0; s < cap; ++s) {
+    if (!slot_used(s)) return s;
+  }
+  return kNoSlot;
+}
+
+void Page::set_slot(std::uint16_t slot, std::span<const std::uint8_t> payload) {
+  VDB_CHECK(slot < capacity());
+  VDB_CHECK_MSG(payload.size() <= slot_size(), "row larger than slot");
+  const size_t off = slot_offset(slot);
+  set_u16(off, static_cast<std::uint16_t>(payload.size()));
+  std::memcpy(buf_.data() + off + 2, payload.data(), payload.size());
+  if (!slot_used(slot)) {
+    buf_[bitmap_offset() + slot / 8] |= static_cast<std::uint8_t>(1u << (slot % 8));
+    set_u16(22, used_count() + 1);
+  }
+}
+
+void Page::clear_slot(std::uint16_t slot) {
+  VDB_CHECK(slot < capacity());
+  if (slot_used(slot)) {
+    buf_[bitmap_offset() + slot / 8] &=
+        static_cast<std::uint8_t>(~(1u << (slot % 8)));
+    set_u16(22, used_count() - 1);
+  }
+}
+
+Result<std::span<const std::uint8_t>> Page::read_slot(
+    std::uint16_t slot) const {
+  if (slot >= capacity() || !slot_used(slot)) {
+    return make_error(ErrorCode::kNotFound, "slot not in use");
+  }
+  const size_t off = slot_offset(slot);
+  const std::uint16_t len = get_u16(off);
+  return std::span<const std::uint8_t>{buf_.data() + off + 2, len};
+}
+
+void Page::update_checksum() {
+  set_u32(0, crc32c({buf_.data() + 4, kSize - 4}));
+}
+
+bool Page::verify_checksum() const {
+  if (!formatted()) return true;  // virgin page
+  return get_u32(0) == crc32c({buf_.data() + 4, kSize - 4});
+}
+
+std::uint16_t Page::get_u16(size_t off) const {
+  std::uint16_t v;
+  std::memcpy(&v, buf_.data() + off, sizeof(v));
+  return v;
+}
+std::uint32_t Page::get_u32(size_t off) const {
+  std::uint32_t v;
+  std::memcpy(&v, buf_.data() + off, sizeof(v));
+  return v;
+}
+std::uint64_t Page::get_u64(size_t off) const {
+  std::uint64_t v;
+  std::memcpy(&v, buf_.data() + off, sizeof(v));
+  return v;
+}
+void Page::set_u16(size_t off, std::uint16_t v) {
+  std::memcpy(buf_.data() + off, &v, sizeof(v));
+}
+void Page::set_u32(size_t off, std::uint32_t v) {
+  std::memcpy(buf_.data() + off, &v, sizeof(v));
+}
+void Page::set_u64(size_t off, std::uint64_t v) {
+  std::memcpy(buf_.data() + off, &v, sizeof(v));
+}
+
+}  // namespace vdb::storage

@@ -1,0 +1,332 @@
+#include "tpcc/tpcc_db.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace vdb::tpcc {
+
+const char* table_name(Tbl t) {
+  switch (t) {
+    case Tbl::kWarehouse: return kWarehouseTable;
+    case Tbl::kDistrict: return kDistrictTable;
+    case Tbl::kCustomer: return kCustomerTable;
+    case Tbl::kHistory: return kHistoryTable;
+    case Tbl::kNewOrder: return kNewOrderTable;
+    case Tbl::kOrder: return kOrderTable;
+    case Tbl::kOrderLine: return kOrderLineTable;
+    case Tbl::kItem: return kItemTable;
+    case Tbl::kStock: return kStockTable;
+  }
+  return "?";
+}
+
+NameArr to_name_arr(const std::string& s) {
+  NameArr arr{};
+  std::memcpy(arr.data(), s.data(), std::min(s.size(), arr.size()));
+  return arr;
+}
+
+namespace {
+
+struct SlotSpec {
+  Tbl tbl;
+  std::uint16_t slot_size;
+};
+
+constexpr SlotSpec kSlots[kTableCount] = {
+    {Tbl::kWarehouse, WarehouseRow::kSlotSize},
+    {Tbl::kDistrict, DistrictRow::kSlotSize},
+    {Tbl::kCustomer, CustomerRow::kSlotSize},
+    {Tbl::kHistory, HistoryRow::kSlotSize},
+    {Tbl::kNewOrder, NewOrderRow::kSlotSize},
+    {Tbl::kOrder, OrderRow::kSlotSize},
+    {Tbl::kOrderLine, OrderLineRow::kSlotSize},
+    {Tbl::kItem, ItemRow::kSlotSize},
+    {Tbl::kStock, StockRow::kSlotSize},
+};
+
+}  // namespace
+
+Status TpccDb::create_schema(engine::Database& db,
+                             const std::string& tablespace, UserId owner) {
+  for (const SlotSpec& spec : kSlots) {
+    auto table = db.create_table(table_name(spec.tbl), tablespace,
+                                 spec.slot_size, owner);
+    if (!table.is_ok()) return table.status();
+  }
+  return Status::ok();
+}
+
+Status TpccDb::attach(engine::Database* db) {
+  db_ = db;
+  clear_indexes();
+  for (const SlotSpec& spec : kSlots) {
+    auto id = db_->table_id(table_name(spec.tbl));
+    if (!id.is_ok()) return id.status();
+    tables_[static_cast<size_t>(spec.tbl)] = id.value();
+
+    const Tbl tbl = spec.tbl;
+    db_->register_observer(id.value(),
+                           [this, tbl](const engine::RowChange& change) {
+                             apply_index_change(tbl, change);
+                           });
+  }
+  db_->set_rebuild_hook(
+      [this](TableId table, RowId rid, std::span<const std::uint8_t> row) {
+        auto tbl = tbl_of(table);
+        if (tbl.has_value()) index_insert(*tbl, rid, row);
+      });
+  return Status::ok();
+}
+
+std::optional<Tbl> TpccDb::tbl_of(TableId id) const {
+  for (size_t i = 0; i < kTableCount; ++i) {
+    if (tables_[i] == id) return static_cast<Tbl>(i);
+  }
+  return std::nullopt;
+}
+
+void TpccDb::apply_index_change(Tbl t, const engine::RowChange& change) {
+  switch (change.kind) {
+    case engine::RowChange::Kind::kInsert:
+      index_insert(t, change.rid, change.after);
+      break;
+    case engine::RowChange::Kind::kDelete:
+      index_erase(t, change.before);
+      break;
+    case engine::RowChange::Kind::kUpdate:
+      // TPC-C business keys are immutable; nothing moves.
+      break;
+  }
+}
+
+void TpccDb::index_insert(Tbl t, RowId rid,
+                          std::span<const std::uint8_t> row) {
+  switch (t) {
+    case Tbl::kWarehouse: {
+      auto r = from_bytes<WarehouseRow>(row);
+      warehouse_idx_.insert(r.w_id, rid);
+      break;
+    }
+    case Tbl::kDistrict: {
+      auto r = from_bytes<DistrictRow>(row);
+      district_idx_.insert({r.d_w_id, r.d_id}, rid);
+      break;
+    }
+    case Tbl::kCustomer: {
+      auto r = from_bytes<CustomerRow>(row);
+      customer_idx_.insert({r.c_w_id, r.c_d_id, r.c_id}, rid);
+      name_idx_.insert({r.c_w_id, r.c_d_id, to_name_arr(r.c_last), r.c_id},
+                       rid);
+      break;
+    }
+    case Tbl::kHistory:
+      break;  // no access path
+    case Tbl::kNewOrder: {
+      auto r = from_bytes<NewOrderRow>(row);
+      new_order_idx_.insert({r.no_w_id, r.no_d_id, r.no_o_id}, rid);
+      break;
+    }
+    case Tbl::kOrder: {
+      auto r = from_bytes<OrderRow>(row);
+      order_idx_.insert({r.o_w_id, r.o_d_id, r.o_id}, rid);
+      order_cust_idx_.insert({r.o_w_id, r.o_d_id, r.o_c_id, r.o_id}, rid);
+      break;
+    }
+    case Tbl::kOrderLine: {
+      auto r = from_bytes<OrderLineRow>(row);
+      order_line_idx_.insert(
+          {r.ol_w_id, r.ol_d_id, r.ol_o_id, r.ol_number}, rid);
+      break;
+    }
+    case Tbl::kItem: {
+      auto r = from_bytes<ItemRow>(row);
+      item_idx_.insert(r.i_id, rid);
+      break;
+    }
+    case Tbl::kStock: {
+      auto r = from_bytes<StockRow>(row);
+      stock_idx_.insert({r.s_w_id, r.s_i_id}, rid);
+      break;
+    }
+  }
+}
+
+void TpccDb::index_erase(Tbl t, std::span<const std::uint8_t> row) {
+  switch (t) {
+    case Tbl::kWarehouse: {
+      auto r = from_bytes<WarehouseRow>(row);
+      warehouse_idx_.erase(r.w_id);
+      break;
+    }
+    case Tbl::kDistrict: {
+      auto r = from_bytes<DistrictRow>(row);
+      district_idx_.erase({r.d_w_id, r.d_id});
+      break;
+    }
+    case Tbl::kCustomer: {
+      auto r = from_bytes<CustomerRow>(row);
+      customer_idx_.erase({r.c_w_id, r.c_d_id, r.c_id});
+      name_idx_.erase({r.c_w_id, r.c_d_id, to_name_arr(r.c_last), r.c_id});
+      break;
+    }
+    case Tbl::kHistory:
+      break;
+    case Tbl::kNewOrder: {
+      auto r = from_bytes<NewOrderRow>(row);
+      new_order_idx_.erase({r.no_w_id, r.no_d_id, r.no_o_id});
+      break;
+    }
+    case Tbl::kOrder: {
+      auto r = from_bytes<OrderRow>(row);
+      order_idx_.erase({r.o_w_id, r.o_d_id, r.o_id});
+      order_cust_idx_.erase({r.o_w_id, r.o_d_id, r.o_c_id, r.o_id});
+      break;
+    }
+    case Tbl::kOrderLine: {
+      auto r = from_bytes<OrderLineRow>(row);
+      order_line_idx_.erase({r.ol_w_id, r.ol_d_id, r.ol_o_id, r.ol_number});
+      break;
+    }
+    case Tbl::kItem: {
+      auto r = from_bytes<ItemRow>(row);
+      item_idx_.erase(r.i_id);
+      break;
+    }
+    case Tbl::kStock: {
+      auto r = from_bytes<StockRow>(row);
+      stock_idx_.erase({r.s_w_id, r.s_i_id});
+      break;
+    }
+  }
+}
+
+std::optional<RowId> TpccDb::warehouse_rid(std::uint32_t w) const {
+  const RowId* rid = warehouse_idx_.find(w);
+  return rid ? std::optional<RowId>(*rid) : std::nullopt;
+}
+
+std::optional<RowId> TpccDb::district_rid(std::uint32_t w,
+                                          std::uint32_t d) const {
+  const RowId* rid = district_idx_.find({w, d});
+  return rid ? std::optional<RowId>(*rid) : std::nullopt;
+}
+
+std::optional<RowId> TpccDb::customer_rid(std::uint32_t w, std::uint32_t d,
+                                          std::uint32_t c) const {
+  const RowId* rid = customer_idx_.find({w, d, c});
+  return rid ? std::optional<RowId>(*rid) : std::nullopt;
+}
+
+std::vector<std::pair<std::uint32_t, RowId>> TpccDb::customers_by_name(
+    std::uint32_t w, std::uint32_t d, const std::string& last) const {
+  std::vector<std::pair<std::uint32_t, RowId>> out;
+  const NameArr name = to_name_arr(last);
+  name_idx_.scan_range(
+      {w, d, name, 0}, {w, d, name, ~0u},
+      [&](const std::tuple<std::uint32_t, std::uint32_t, NameArr,
+                           std::uint32_t>& key,
+          const RowId& rid) {
+        out.emplace_back(std::get<3>(key), rid);
+        return true;
+      });
+  return out;
+}
+
+std::optional<RowId> TpccDb::item_rid(std::uint32_t i) const {
+  const RowId* rid = item_idx_.find(i);
+  return rid ? std::optional<RowId>(*rid) : std::nullopt;
+}
+
+std::optional<RowId> TpccDb::stock_rid(std::uint32_t w,
+                                       std::uint32_t i) const {
+  const RowId* rid = stock_idx_.find({w, i});
+  return rid ? std::optional<RowId>(*rid) : std::nullopt;
+}
+
+std::optional<RowId> TpccDb::order_rid(std::uint32_t w, std::uint32_t d,
+                                       std::uint32_t o) const {
+  const RowId* rid = order_idx_.find({w, d, o});
+  return rid ? std::optional<RowId>(*rid) : std::nullopt;
+}
+
+std::optional<std::pair<std::uint32_t, RowId>> TpccDb::last_order_of_customer(
+    std::uint32_t w, std::uint32_t d, std::uint32_t c) const {
+  std::optional<std::pair<std::uint32_t, RowId>> out;
+  order_cust_idx_.scan_range_desc(
+      {w, d, c, 0}, {w, d, c, ~0u},
+      [&](const std::tuple<std::uint32_t, std::uint32_t, std::uint32_t,
+                           std::uint32_t>& key,
+          const RowId& rid) {
+        out = {std::get<3>(key), rid};
+        return false;  // newest only
+      });
+  return out;
+}
+
+std::optional<std::pair<std::uint32_t, RowId>> TpccDb::oldest_new_order(
+    std::uint32_t w, std::uint32_t d) const {
+  std::optional<std::pair<std::uint32_t, RowId>> out;
+  new_order_idx_.scan_range(
+      {w, d, 0}, {w, d, ~0u},
+      [&](const std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>& key,
+          const RowId& rid) {
+        out = {std::get<2>(key), rid};
+        return false;  // oldest only
+      });
+  return out;
+}
+
+std::optional<RowId> TpccDb::new_order_rid(std::uint32_t w, std::uint32_t d,
+                                           std::uint32_t o) const {
+  const RowId* rid = new_order_idx_.find({w, d, o});
+  return rid ? std::optional<RowId>(*rid) : std::nullopt;
+}
+
+std::vector<RowId> TpccDb::order_lines(std::uint32_t w, std::uint32_t d,
+                                       std::uint32_t o) const {
+  std::vector<RowId> out;
+  order_line_idx_.scan_range(
+      {w, d, o, 0}, {w, d, o, ~0u},
+      [&](const auto&, const RowId& rid) {
+        out.push_back(rid);
+        return true;
+      });
+  return out;
+}
+
+std::vector<RowId> TpccDb::order_lines_range(std::uint32_t w, std::uint32_t d,
+                                             std::uint32_t o1,
+                                             std::uint32_t o2) const {
+  std::vector<RowId> out;
+  if (o1 >= o2) return out;
+  order_line_idx_.scan_range(
+      {w, d, o1, 0}, {w, d, o2 - 1, ~0u},
+      [&](const auto&, const RowId& rid) {
+        out.push_back(rid);
+        return true;
+      });
+  return out;
+}
+
+size_t TpccDb::index_entries() const {
+  return warehouse_idx_.size() + district_idx_.size() +
+         customer_idx_.size() + name_idx_.size() + item_idx_.size() +
+         stock_idx_.size() + order_idx_.size() + order_cust_idx_.size() +
+         new_order_idx_.size() + order_line_idx_.size();
+}
+
+void TpccDb::clear_indexes() {
+  warehouse_idx_.clear();
+  district_idx_.clear();
+  customer_idx_.clear();
+  name_idx_.clear();
+  item_idx_.clear();
+  stock_idx_.clear();
+  order_idx_.clear();
+  order_cust_idx_.clear();
+  new_order_idx_.clear();
+  order_line_idx_.clear();
+}
+
+}  // namespace vdb::tpcc

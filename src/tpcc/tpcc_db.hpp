@@ -1,0 +1,139 @@
+// TPC-C database binding: schema creation, access-path indexes, and typed
+// row accessors over the engine's byte-row API.
+//
+// Indexes are application-side B+-trees keyed by the business keys the five
+// transactions need. They are maintained by engine row observers during
+// normal processing (including rollbacks) and rebuilt through the engine's
+// rebuild hook after any recovery — mirroring how the real benchmark's
+// access paths come back after Oracle recovers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "engine/database.hpp"
+#include "index/bplus_tree.hpp"
+#include "tpcc/schema.hpp"
+#include "tpcc/tpcc_random.hpp"
+
+namespace vdb::tpcc {
+
+enum class Tbl : std::uint8_t {
+  kWarehouse = 0,
+  kDistrict,
+  kCustomer,
+  kHistory,
+  kNewOrder,
+  kOrder,
+  kOrderLine,
+  kItem,
+  kStock,
+};
+constexpr size_t kTableCount = 9;
+const char* table_name(Tbl t);
+
+/// Fixed-width last-name key segment.
+using NameArr = std::array<char, 16>;
+NameArr to_name_arr(const std::string& s);
+
+class TpccDb {
+ public:
+  explicit TpccDb(TpccScale scale) : scale_(scale) {}
+
+  /// Creates the nine tables (fresh database, open instance).
+  Status create_schema(engine::Database& db, const std::string& tablespace,
+                       UserId owner);
+
+  /// Binds to an instance: resolves table ids, wires row observers and the
+  /// post-recovery rebuild hook, clears in-memory indexes. Call before
+  /// startup()/activation for recovered instances so the rebuild scan
+  /// repopulates the indexes; for a freshly created database call it right
+  /// after create_schema (the loader's inserts then populate the indexes
+  /// through the observers).
+  Status attach(engine::Database* db);
+
+  engine::Database& db() { return *db_; }
+  bool attached() const { return db_ != nullptr; }
+  TableId table(Tbl t) const { return tables_[static_cast<size_t>(t)]; }
+  const TpccScale& scale() const { return scale_; }
+
+  // --- access paths ---------------------------------------------------------
+
+  std::optional<RowId> warehouse_rid(std::uint32_t w) const;
+  std::optional<RowId> district_rid(std::uint32_t w, std::uint32_t d) const;
+  std::optional<RowId> customer_rid(std::uint32_t w, std::uint32_t d,
+                                    std::uint32_t c) const;
+  /// Customers with the given last name, ordered by c_id (clause 2.5.2.2
+  /// approximated: selection by id order rather than first-name order).
+  std::vector<std::pair<std::uint32_t, RowId>> customers_by_name(
+      std::uint32_t w, std::uint32_t d, const std::string& last) const;
+  std::optional<RowId> item_rid(std::uint32_t i) const;
+  std::optional<RowId> stock_rid(std::uint32_t w, std::uint32_t i) const;
+  std::optional<RowId> order_rid(std::uint32_t w, std::uint32_t d,
+                                 std::uint32_t o) const;
+  /// Highest o_id order of a customer.
+  std::optional<std::pair<std::uint32_t, RowId>> last_order_of_customer(
+      std::uint32_t w, std::uint32_t d, std::uint32_t c) const;
+  /// Lowest o_id pending new-order of a district.
+  std::optional<std::pair<std::uint32_t, RowId>> oldest_new_order(
+      std::uint32_t w, std::uint32_t d) const;
+  std::optional<RowId> new_order_rid(std::uint32_t w, std::uint32_t d,
+                                     std::uint32_t o) const;
+  /// Order lines of one order, in line order.
+  std::vector<RowId> order_lines(std::uint32_t w, std::uint32_t d,
+                                 std::uint32_t o) const;
+  /// Order lines of orders with o1 <= o_id < o2 (Stock-Level).
+  std::vector<RowId> order_lines_range(std::uint32_t w, std::uint32_t d,
+                                       std::uint32_t o1,
+                                       std::uint32_t o2) const;
+
+  // --- typed row I/O ---------------------------------------------------------
+
+  template <typename Row>
+  Result<Row> read_row(TxnId txn, Tbl t, RowId rid) {
+    auto bytes = db_->read(txn, table(t), rid);
+    if (!bytes.is_ok()) return bytes.status();
+    return from_bytes<Row>(bytes.value());
+  }
+
+  template <typename Row>
+  Result<RowId> insert_row(TxnId txn, Tbl t, const Row& row) {
+    return db_->insert(txn, table(t), to_bytes(row));
+  }
+
+  template <typename Row>
+  Status update_row(TxnId txn, Tbl t, RowId rid, const Row& row) {
+    return db_->update(txn, table(t), rid, to_bytes(row));
+  }
+
+  size_t index_entries() const;
+  void clear_indexes();
+
+ private:
+  void apply_index_change(Tbl t, const engine::RowChange& change);
+  void index_insert(Tbl t, RowId rid, std::span<const std::uint8_t> row);
+  void index_erase(Tbl t, std::span<const std::uint8_t> row);
+  std::optional<Tbl> tbl_of(TableId id) const;
+
+  TpccScale scale_;
+  engine::Database* db_ = nullptr;
+  std::array<TableId, kTableCount> tables_{};
+
+  using U32 = std::uint32_t;
+  index::BPlusTree<U32, RowId> warehouse_idx_;
+  index::BPlusTree<std::tuple<U32, U32>, RowId> district_idx_;
+  index::BPlusTree<std::tuple<U32, U32, U32>, RowId> customer_idx_;
+  index::BPlusTree<std::tuple<U32, U32, NameArr, U32>, RowId> name_idx_;
+  index::BPlusTree<U32, RowId> item_idx_;
+  index::BPlusTree<std::tuple<U32, U32>, RowId> stock_idx_;
+  index::BPlusTree<std::tuple<U32, U32, U32>, RowId> order_idx_;
+  index::BPlusTree<std::tuple<U32, U32, U32, U32>, RowId> order_cust_idx_;
+  index::BPlusTree<std::tuple<U32, U32, U32>, RowId> new_order_idx_;
+  index::BPlusTree<std::tuple<U32, U32, U32, U32>, RowId> order_line_idx_;
+};
+
+}  // namespace vdb::tpcc

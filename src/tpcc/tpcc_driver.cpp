@@ -1,0 +1,133 @@
+#include "tpcc/tpcc_driver.hpp"
+
+#include <algorithm>
+
+namespace vdb::tpcc {
+
+Driver::Driver(TpccDb* db, sim::Scheduler* scheduler, DriverConfig cfg)
+    : db_(db), scheduler_(scheduler), cfg_(cfg),
+      series_origin_(scheduler->now()),
+      random_(Rng{cfg.seed}, db->scale()), txns_(db, &random_) {
+  size_t i = 0;
+  for (int k = 0; k < 10; ++k) deck_[i++] = TxnType::kNewOrder;
+  for (int k = 0; k < 10; ++k) deck_[i++] = TxnType::kPayment;
+  deck_[i++] = TxnType::kOrderStatus;
+  deck_[i++] = TxnType::kDelivery;
+  deck_[i++] = TxnType::kStockLevel;
+  // Initial shuffle; the deck is reshuffled every pass.
+  Rng& rng = random_.rng();
+  for (size_t k = deck_.size(); k > 1; --k) {
+    std::swap(deck_[k - 1], deck_[static_cast<size_t>(rng.uniform(
+                                0, static_cast<std::int64_t>(k) - 1))]);
+  }
+}
+
+TxnType Driver::pick_type() {
+  if (deck_pos_ >= deck_.size()) {
+    deck_pos_ = 0;
+    Rng& rng = random_.rng();
+    for (size_t k = deck_.size(); k > 1; --k) {
+      std::swap(deck_[k - 1], deck_[static_cast<size_t>(rng.uniform(
+                                  0, static_cast<std::int64_t>(k) - 1))]);
+    }
+  }
+  return deck_[deck_pos_++];
+}
+
+Status Driver::run_until(SimTime until) {
+  sim::VirtualClock& clock = scheduler_->clock();
+  while (clock.now() < until) {
+    scheduler_->run_due();
+    if (clock.now() >= until) break;
+
+    const TxnType type = pick_type();
+    const std::uint32_t w = random_.warehouse_id();
+    const SimTime begin = clock.now();
+    auto outcome = txns_.run(type, w);
+    if (!outcome.is_ok()) {
+      const ErrorCode code = outcome.code();
+      if (code == ErrorCode::kDeadlock || code == ErrorCode::kLockTimeout) {
+        stats_.lock_retries += 1;
+        continue;
+      }
+      stats_.failed_attempts += 1;
+      return outcome.status();
+    }
+    if (outcome.value().intentional_rollback) {
+      stats_.intentional_rollbacks += 1;
+      continue;
+    }
+    if (outcome.value().committed) {
+      stats_.committed += 1;
+      stats_.committed_by_type[static_cast<size_t>(type)] += 1;
+      CommitRecord record{type, outcome.value().commit_lsn, clock.now(),
+                          clock.now() - begin};
+      commits_.push_back(record);
+      if (type == TxnType::kNewOrder) {
+        const size_t bucket = static_cast<size_t>(
+            (clock.now() - series_origin_) / cfg_.report_interval);
+        if (series_.size() <= bucket) series_.resize(bucket + 1, 0);
+        series_[bucket] += 1;
+      }
+    }
+  }
+  return Status::ok();
+}
+
+double Driver::tpmc(SimTime from, SimTime to) const {
+  if (to <= from) return 0;
+  std::uint64_t count = 0;
+  for (const CommitRecord& record : commits_) {
+    if (record.type == TxnType::kNewOrder && record.commit_time >= from &&
+        record.commit_time < to) {
+      count += 1;
+    }
+  }
+  return static_cast<double>(count) / to_seconds(to - from) * 60.0;
+}
+
+double Driver::tpm_total(SimTime from, SimTime to) const {
+  if (to <= from) return 0;
+  std::uint64_t count = 0;
+  for (const CommitRecord& record : commits_) {
+    if (record.commit_time >= from && record.commit_time < to) count += 1;
+  }
+  return static_cast<double>(count) / to_seconds(to - from) * 60.0;
+}
+
+SimDuration Driver::response_percentile(TxnType type, double q) const {
+  std::vector<SimDuration> samples;
+  for (const CommitRecord& record : commits_) {
+    if (record.type == type) samples.push_back(record.response_time);
+  }
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  const size_t index = std::min(
+      samples.size() - 1,
+      static_cast<size_t>(q * static_cast<double>(samples.size())));
+  return samples[index];
+}
+
+SimDuration Driver::mean_response(TxnType type) const {
+  SimDuration total = 0;
+  std::uint64_t count = 0;
+  for (const CommitRecord& record : commits_) {
+    if (record.type == type) {
+      total += record.response_time;
+      count += 1;
+    }
+  }
+  return count == 0 ? 0 : total / count;
+}
+
+std::uint64_t Driver::count_lost(Lsn recovered_to, SimTime before) const {
+  std::uint64_t lost = 0;
+  for (const CommitRecord& record : commits_) {
+    if (record.commit_time >= before) continue;
+    if (record.commit_lsn == 0) continue;  // read-only: nothing to lose
+    if (record.commit_lsn > recovered_to) lost += 1;
+  }
+  return lost;
+}
+
+}  // namespace vdb::tpcc

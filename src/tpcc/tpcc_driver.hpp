@@ -1,0 +1,91 @@
+// TPC-C driver system.
+//
+// The paper's remote terminal emulator, embedded in the simulation: it
+// issues the standard transaction mix in a closed loop, timestamps every
+// commit together with its commit LSN, and maintains the per-interval
+// throughput series used for the performance figures. The commit log is
+// the ground truth for the benchmark's lost-transaction measure: a
+// committed transaction is lost iff recovery ended below its commit LSN —
+// measured from the end-user's point of view, exactly as in the paper.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "tpcc/tpcc_txns.hpp"
+
+namespace vdb::tpcc {
+
+struct DriverConfig {
+  std::uint64_t seed = 42;
+  /// Throughput series bucket width.
+  SimDuration report_interval = 30 * kSecond;
+};
+
+struct CommitRecord {
+  TxnType type;
+  Lsn commit_lsn = 0;  // 0 for read-only transactions
+  SimTime commit_time = 0;
+  SimDuration response_time = 0;  // begin -> commit, end-user view
+};
+
+struct DriverStats {
+  std::uint64_t committed = 0;
+  std::array<std::uint64_t, kTxnTypes> committed_by_type{};
+  std::uint64_t intentional_rollbacks = 0;
+  std::uint64_t lock_retries = 0;
+  std::uint64_t failed_attempts = 0;  // attempts refused by a down service
+};
+
+class Driver {
+ public:
+  Driver(TpccDb* db, sim::Scheduler* scheduler, DriverConfig cfg);
+
+  /// Runs the standard mix until the virtual clock reaches `until`, firing
+  /// due background events between transactions. Returns OK at the time
+  /// limit; a service failure (media error, instance down, …) returns that
+  /// error with the clock at the failure instant.
+  Status run_until(SimTime until);
+
+  const std::vector<CommitRecord>& commits() const { return commits_; }
+  const DriverStats& stats() const { return stats_; }
+
+  /// New-Order transactions committed per minute in [from, to).
+  double tpmc(SimTime from, SimTime to) const;
+  /// All transactions committed per minute in [from, to).
+  double tpm_total(SimTime from, SimTime to) const;
+
+  /// Committed-then-lost transactions: committed before `before`, with an
+  /// effective commit LSN above what recovery salvaged.
+  std::uint64_t count_lost(Lsn recovered_to, SimTime before) const;
+
+  /// New-Order commits per report interval (throughput series).
+  const std::vector<std::uint32_t>& series() const { return series_; }
+  SimDuration series_interval() const { return cfg_.report_interval; }
+
+  /// Response-time percentile for one transaction type (TPC-C clause 5.5
+  /// reports the 90th). `q` in (0, 1]; returns 0 when no samples exist.
+  SimDuration response_percentile(TxnType type, double q) const;
+  SimDuration mean_response(TxnType type) const;
+
+ private:
+  TxnType pick_type();
+
+  TpccDb* db_;
+  sim::Scheduler* scheduler_;
+  DriverConfig cfg_;
+  SimTime series_origin_;  // workload start: series buckets are relative
+  TpccRandom random_;
+  TpccTxns txns_;
+  std::vector<CommitRecord> commits_;
+  std::vector<std::uint32_t> series_;
+  DriverStats stats_;
+  /// Card-deck mix: 10 New-Order, 10 Payment, 1 each of the rest, per the
+  /// spec's minimum-percentage mix (45/43/4/4/4).
+  std::array<TxnType, 23> deck_;
+  size_t deck_pos_ = 0;
+};
+
+}  // namespace vdb::tpcc

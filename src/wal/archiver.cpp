@@ -1,0 +1,31 @@
+#include "wal/archiver.hpp"
+
+#include <algorithm>
+
+namespace vdb::wal {
+
+Status Archiver::archive_group(const RedoGroup& group) {
+  auto member = log_->intact_member(group.index);
+  if (!member.is_ok()) return member.status();
+  const std::string src = member.value();
+  const std::string dst = log_->archive_path(group.seq);
+  if (fs_->exists(dst)) {
+    VDB_RETURN_IF_ERROR(fs_->remove(dst));
+  }
+  VDB_RETURN_IF_ERROR(fs_->copy(src, dst, sim::IoMode::kBackground));
+
+  // The group becomes reusable when the slower of the two devices finishes.
+  const sim::Disk* sdisk = fs_->disk_for(src);
+  const sim::Disk* ddisk = fs_->disk_for(dst);
+  SimTime done = fs_->clock().now();
+  if (sdisk != nullptr) done = std::max(done, sdisk->busy_until());
+  if (ddisk != nullptr) done = std::max(done, ddisk->busy_until());
+
+  VDB_RETURN_IF_ERROR(log_->mark_archived(group.index, done));
+  archived_count_ += 1;
+  last_seq_ = std::max(last_seq_, group.seq);
+  if (on_archived) on_archived(dst, group.seq, done);
+  return Status::ok();
+}
+
+}  // namespace vdb::wal

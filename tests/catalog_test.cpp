@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.hpp"
+
+namespace vdb::catalog {
+namespace {
+
+TEST(Catalog, UserLifecycle) {
+  Catalog cat;
+  auto sys = cat.create_user("SYS", true);
+  ASSERT_TRUE(sys.is_ok());
+  auto app = cat.create_user("APP", false);
+  ASSERT_TRUE(app.is_ok());
+  EXPECT_NE(sys.value(), app.value());
+  EXPECT_EQ(cat.create_user("APP", false).code(), ErrorCode::kAlreadyExists);
+
+  auto found = cat.find_user("APP");
+  ASSERT_TRUE(found.is_ok());
+  EXPECT_FALSE(found.value()->is_dba);
+
+  EXPECT_TRUE(cat.drop_user("APP").is_ok());
+  EXPECT_EQ(cat.find_user("APP").code(), ErrorCode::kNotFound);
+  EXPECT_EQ(cat.drop_user("APP").code(), ErrorCode::kNotFound);
+}
+
+TEST(Catalog, TableLifecycle) {
+  Catalog cat;
+  auto user = cat.create_user("APP", false);
+  ASSERT_TRUE(user.is_ok());
+  auto table = cat.create_table("orders", TablespaceId{1}, 48, user.value(),
+                                {{"o_id", ColumnType::kInt}});
+  ASSERT_TRUE(table.is_ok());
+  EXPECT_EQ(cat.create_table("orders", TablespaceId{1}, 48, user.value())
+                .code(),
+            ErrorCode::kAlreadyExists);
+
+  auto def = cat.find_table("orders");
+  ASSERT_TRUE(def.is_ok());
+  EXPECT_EQ(def.value()->slot_size, 48);
+  EXPECT_EQ(def.value()->owner, user.value());
+  EXPECT_TRUE(def.value()->logging);
+  ASSERT_EQ(def.value()->columns.size(), 1u);
+  EXPECT_EQ(def.value()->columns[0].name, "o_id");
+
+  ASSERT_TRUE(cat.set_logging(table.value(), false).is_ok());
+  EXPECT_FALSE(cat.find_table(table.value()).value()->logging);
+
+  EXPECT_TRUE(cat.drop_table(table.value()).is_ok());
+  EXPECT_EQ(cat.find_table("orders").code(), ErrorCode::kNotFound);
+}
+
+TEST(Catalog, CreateWithIdPreservesCounter) {
+  Catalog cat;
+  ASSERT_TRUE(cat.create_table_with_id(TableId{10}, "t", TablespaceId{0}, 8,
+                                       UserId{1})
+                  .is_ok());
+  EXPECT_EQ(cat.create_table_with_id(TableId{10}, "t2", TablespaceId{0}, 8,
+                                     UserId{1})
+                .code(),
+            ErrorCode::kAlreadyExists);
+  auto next = cat.create_table("after", TablespaceId{0}, 8, UserId{1});
+  ASSERT_TRUE(next.is_ok());
+  EXPECT_GT(next.value().value, 10u);
+}
+
+TEST(Catalog, TablesInTablespace) {
+  Catalog cat;
+  ASSERT_TRUE(
+      cat.create_table("a", TablespaceId{1}, 8, UserId{1}).is_ok());
+  ASSERT_TRUE(
+      cat.create_table("b", TablespaceId{2}, 8, UserId{1}).is_ok());
+  ASSERT_TRUE(
+      cat.create_table("c", TablespaceId{1}, 8, UserId{1}).is_ok());
+  EXPECT_EQ(cat.tables_in(TablespaceId{1}).size(), 2u);
+  EXPECT_EQ(cat.tables_in(TablespaceId{2}).size(), 1u);
+  EXPECT_EQ(cat.tables().size(), 3u);
+}
+
+TEST(Catalog, EncodeDecodeRoundtrip) {
+  Catalog cat;
+  auto user = cat.create_user("APP", false);
+  ASSERT_TRUE(user.is_ok());
+  ASSERT_TRUE(cat.create_user("DBA", true).is_ok());
+  ASSERT_TRUE(cat.create_table("orders", TablespaceId{1}, 48, user.value(),
+                               {{"o_id", ColumnType::kInt},
+                                {"total", ColumnType::kDouble}})
+                  .is_ok());
+  auto nolog = cat.create_table("staging", TablespaceId{2}, 96, user.value());
+  ASSERT_TRUE(nolog.is_ok());
+  ASSERT_TRUE(cat.set_logging(nolog.value(), false).is_ok());
+
+  std::vector<std::uint8_t> buf;
+  Encoder enc(&buf);
+  cat.encode(enc);
+  Decoder dec(buf);
+  auto back = Catalog::decode(dec);
+  ASSERT_TRUE(back.is_ok());
+
+  EXPECT_EQ(back.value().users().size(), 2u);
+  EXPECT_EQ(back.value().tables().size(), 2u);
+  auto orders = back.value().find_table("orders");
+  ASSERT_TRUE(orders.is_ok());
+  EXPECT_EQ(orders.value()->columns.size(), 2u);
+  EXPECT_EQ(orders.value()->columns[1].type, ColumnType::kDouble);
+  EXPECT_FALSE(back.value().find_table("staging").value()->logging);
+
+  // Id counters survive: new objects don't collide.
+  auto next = back.value().create_table("new", TablespaceId{1}, 8,
+                                        user.value());
+  ASSERT_TRUE(next.is_ok());
+  EXPECT_NE(next.value(), orders.value()->id);
+  EXPECT_NE(next.value(), nolog.value());
+}
+
+TEST(Catalog, DecodeRejectsGarbage) {
+  std::vector<std::uint8_t> garbage{1, 2, 3};
+  Decoder dec(garbage);
+  EXPECT_FALSE(Catalog::decode(dec).is_ok());
+}
+
+}  // namespace
+}  // namespace vdb::catalog

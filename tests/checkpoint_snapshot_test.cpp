@@ -1,0 +1,139 @@
+// Checkpoint/undo-snapshot interactions with crash recovery: transactions
+// in flight *across* a checkpoint are the hard case for the recovery
+// protocol — their pre-checkpoint changes are on disk and must be undone
+// from the checkpoint record's snapshot.
+#include <gtest/gtest.h>
+
+#include "tests/test_env.hpp"
+
+namespace vdb::engine {
+namespace {
+
+using testing::SimEnv;
+using testing::SmallDb;
+using testing::all_rows;
+using testing::put_row;
+using testing::row;
+using testing::small_db_config;
+
+TEST(CheckpointSnapshot, InFlightTxnAtCheckpointIsUndoneAfterCrash) {
+  SimEnv env;
+  engine::DatabaseConfig cfg = small_db_config();
+  SmallDb db(env, cfg);
+  put_row(*db.db, db.table, "committed");
+
+  // A transaction straddles a full checkpoint: its changes reach disk with
+  // the checkpoint, but it never commits.
+  auto txn = db.db->begin();
+  ASSERT_TRUE(txn.is_ok());
+  ASSERT_TRUE(db.db->insert(txn.value(), db.table, row("straddler")).is_ok());
+  ASSERT_TRUE(db.db->checkpoint_now().is_ok());
+  ASSERT_TRUE(db.db->insert(txn.value(), db.table, row("post-ckpt")).is_ok());
+  ASSERT_TRUE(db.db->shutdown_abort().is_ok());
+
+  auto db2 = std::make_unique<Database>(&env.host, &env.sched, cfg);
+  ASSERT_TRUE(db2->startup().is_ok());
+  const auto rows = all_rows(*db2, db2->table_id("accounts").value());
+  EXPECT_EQ(rows, (std::vector<std::string>{"committed"}));
+}
+
+TEST(CheckpointSnapshot, TxnCommittedAfterCheckpointSurvives) {
+  SimEnv env;
+  engine::DatabaseConfig cfg = small_db_config();
+  SmallDb db(env, cfg);
+
+  auto txn = db.db->begin();
+  ASSERT_TRUE(txn.is_ok());
+  ASSERT_TRUE(db.db->insert(txn.value(), db.table, row("survivor")).is_ok());
+  ASSERT_TRUE(db.db->checkpoint_now().is_ok());
+  ASSERT_TRUE(db.db->commit(txn.value()).is_ok());
+  ASSERT_TRUE(db.db->shutdown_abort().is_ok());
+
+  auto db2 = std::make_unique<Database>(&env.host, &env.sched, cfg);
+  ASSERT_TRUE(db2->startup().is_ok());
+  const auto rows = all_rows(*db2, db2->table_id("accounts").value());
+  EXPECT_EQ(rows, (std::vector<std::string>{"survivor"}));
+}
+
+TEST(CheckpointSnapshot, UpdateStraddlingCheckpointRestoresBeforeImage) {
+  SimEnv env;
+  engine::DatabaseConfig cfg = small_db_config();
+  SmallDb db(env, cfg);
+  const RowId rid = put_row(*db.db, db.table, "original");
+
+  auto txn = db.db->begin();
+  ASSERT_TRUE(txn.is_ok());
+  ASSERT_TRUE(db.db->update(txn.value(), db.table, rid, row("dirty")).is_ok());
+  ASSERT_TRUE(db.db->checkpoint_now().is_ok());  // "dirty" reaches disk
+  ASSERT_TRUE(db.db->shutdown_abort().is_ok());
+
+  auto db2 = std::make_unique<Database>(&env.host, &env.sched, cfg);
+  ASSERT_TRUE(db2->startup().is_ok());
+  const auto rows = all_rows(*db2, db2->table_id("accounts").value());
+  EXPECT_EQ(rows, (std::vector<std::string>{"original"}));
+}
+
+TEST(CheckpointSnapshot, MultipleCheckpointsAcrossOneTxn) {
+  SimEnv env;
+  engine::DatabaseConfig cfg = small_db_config();
+  SmallDb db(env, cfg);
+  put_row(*db.db, db.table, "base");
+
+  auto txn = db.db->begin();
+  ASSERT_TRUE(txn.is_ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        db.db->insert(txn.value(), db.table, row("x" + std::to_string(i)))
+            .is_ok());
+    ASSERT_TRUE(db.db->checkpoint_now().is_ok());
+  }
+  ASSERT_TRUE(db.db->shutdown_abort().is_ok());
+
+  auto db2 = std::make_unique<Database>(&env.host, &env.sched, cfg);
+  ASSERT_TRUE(db2->startup().is_ok());
+  const auto rows = all_rows(*db2, db2->table_id("accounts").value());
+  EXPECT_EQ(rows, (std::vector<std::string>{"base"}));
+}
+
+TEST(CheckpointSnapshot, PartialRollbackBeforeCrashCompletesAtRecovery) {
+  SimEnv env;
+  engine::DatabaseConfig cfg = small_db_config();
+  SmallDb db(env, cfg);
+  const RowId keep = put_row(*db.db, db.table, "keep");
+
+  // Transaction does work, checkpoints happen mid-flight, then the txn
+  // starts rolling back but the instance dies before the ABORT record.
+  // (Simulate by crashing right after a checkpoint with the txn open; the
+  // recovery undo path must cope with snapshot + post-snapshot records.)
+  auto txn = db.db->begin();
+  ASSERT_TRUE(txn.is_ok());
+  ASSERT_TRUE(db.db->erase(txn.value(), db.table, keep).is_ok());
+  ASSERT_TRUE(db.db->checkpoint_now().is_ok());
+  ASSERT_TRUE(db.db->insert(txn.value(), db.table, row("zombie")).is_ok());
+  ASSERT_TRUE(db.db->shutdown_abort().is_ok());
+
+  auto db2 = std::make_unique<Database>(&env.host, &env.sched, cfg);
+  ASSERT_TRUE(db2->startup().is_ok());
+  const auto rows = all_rows(*db2, db2->table_id("accounts").value());
+  EXPECT_EQ(rows, (std::vector<std::string>{"keep"}));  // delete undone
+}
+
+TEST(CheckpointSnapshot, CrashDuringIdlePeriodRecoversInstantly) {
+  SimEnv env;
+  engine::DatabaseConfig cfg = small_db_config();
+  SmallDb db(env, cfg);
+  put_row(*db.db, db.table, "x");
+  ASSERT_TRUE(db.db->checkpoint_now().is_ok());
+  const SimTime before = env.clock.now();
+  ASSERT_TRUE(db.db->shutdown_abort().is_ok());
+
+  auto db2 = std::make_unique<Database>(&env.host, &env.sched, cfg);
+  ASSERT_TRUE(db2->startup().is_ok());
+  // Nothing to replay beyond the checkpoint: recovery is dominated by the
+  // fixed instance-startup cost.
+  EXPECT_LT(env.clock.now() - before,
+            cfg.cost.instance_startup + 5 * kSecond);
+}
+
+}  // namespace
+}  // namespace vdb::engine

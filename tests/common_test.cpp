@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/codec.hpp"
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "common/table_printer.hpp"
+#include "common/types.hpp"
+
+namespace vdb {
+namespace {
+
+TEST(Status, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.is_ok());
+  EXPECT_EQ(st.code(), ErrorCode::kOk);
+  EXPECT_EQ(st.to_string(), "OK");
+}
+
+TEST(Status, CarriesCodeAndMessage) {
+  Status st = make_error(ErrorCode::kMediaFailure, "file gone");
+  EXPECT_FALSE(st.is_ok());
+  EXPECT_EQ(st.code(), ErrorCode::kMediaFailure);
+  EXPECT_EQ(st.to_string(), "MediaFailure: file gone");
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().is_ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = Status{ErrorCode::kNotFound, "nope"};
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_EQ(r.code(), ErrorCode::kNotFound);
+}
+
+Result<int> helper_returning(int v, bool fail) {
+  if (fail) return Status{ErrorCode::kInvalidArgument, "fail"};
+  return v;
+}
+
+Status uses_assign_or_return(bool fail, int* out) {
+  VDB_ASSIGN_OR_RETURN(int v, helper_returning(7, fail));
+  *out = v;
+  return Status::ok();
+}
+
+TEST(Result, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(uses_assign_or_return(false, &out).is_ok());
+  EXPECT_EQ(out, 7);
+  EXPECT_EQ(uses_assign_or_return(true, &out).code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(StrongId, DistinctAndComparable) {
+  FileId a{1}, b{2};
+  EXPECT_LT(a, b);
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(FileId::invalid().valid());
+  EXPECT_TRUE(a.valid());
+}
+
+TEST(PageIdRowId, HashAndCompare) {
+  std::set<PageId> pages;
+  pages.insert(PageId{FileId{1}, 5});
+  pages.insert(PageId{FileId{1}, 5});
+  pages.insert(PageId{FileId{2}, 5});
+  EXPECT_EQ(pages.size(), 2u);
+  RowId r1{PageId{FileId{1}, 5}, 3};
+  RowId r2{PageId{FileId{1}, 5}, 4};
+  EXPECT_LT(r1, r2);
+}
+
+TEST(Time, Conversions) {
+  EXPECT_DOUBLE_EQ(to_seconds(1500 * kMillisecond), 1.5);
+  EXPECT_EQ(from_seconds(2.5), 2500 * kMillisecond);
+  EXPECT_EQ(format_duration(1500 * kMillisecond), "1.500s");
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform(-3, 12);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 12);
+  }
+  // Degenerate range.
+  EXPECT_EQ(rng.uniform(5, 5), 5);
+}
+
+TEST(Rng, UniformCoversRange) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, NurandStaysInRange) {
+  Rng rng(17);
+  for (int i = 0; i < 20000; ++i) {
+    const auto v = rng.nurand(255, 1, 3000, 123);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 3000);
+  }
+}
+
+TEST(Rng, NurandIsSkewed) {
+  // NURand concentrates mass: some values must appear far more often than
+  // the uniform expectation.
+  Rng rng(19);
+  std::map<std::int64_t, int> hist;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) hist[rng.nurand(255, 0, 999, 42)] += 1;
+  int max_count = 0;
+  for (const auto& [v, c] : hist) max_count = std::max(max_count, c);
+  EXPECT_GT(max_count, 3 * n / 1000);  // > 3x uniform frequency
+}
+
+TEST(Rng, StringHelpers) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    const std::string a = rng.alnum_string(5, 10);
+    EXPECT_GE(a.size(), 5u);
+    EXPECT_LE(a.size(), 10u);
+    const std::string d = rng.digit_string(4, 4);
+    EXPECT_EQ(d.size(), 4u);
+    for (char c : d) EXPECT_TRUE(c >= '0' && c <= '9');
+  }
+}
+
+TEST(Rng, SplitIndependence) {
+  Rng parent(31);
+  Rng child = parent.split();
+  // Streams should diverge.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.next() == child.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Codec, PrimitiveRoundtrip) {
+  std::vector<std::uint8_t> buf;
+  Encoder enc(&buf);
+  enc.put_u8(200);
+  enc.put_u16(50000);
+  enc.put_u32(4000000000u);
+  enc.put_u64(~0ull - 5);
+  enc.put_i64(-123456789);
+  enc.put_double(3.25);
+  enc.put_string("hello");
+  enc.put_string("");
+
+  Decoder dec(buf);
+  EXPECT_EQ(dec.get_u8().value(), 200);
+  EXPECT_EQ(dec.get_u16().value(), 50000);
+  EXPECT_EQ(dec.get_u32().value(), 4000000000u);
+  EXPECT_EQ(dec.get_u64().value(), ~0ull - 5);
+  EXPECT_EQ(dec.get_i64().value(), -123456789);
+  EXPECT_DOUBLE_EQ(dec.get_double().value(), 3.25);
+  EXPECT_EQ(dec.get_string().value(), "hello");
+  EXPECT_EQ(dec.get_string().value(), "");
+  EXPECT_TRUE(dec.done());
+}
+
+TEST(Codec, TruncationDetected) {
+  std::vector<std::uint8_t> buf;
+  Encoder enc(&buf);
+  enc.put_u64(1);
+  Decoder dec(std::span<const std::uint8_t>(buf).subspan(0, 4));
+  EXPECT_EQ(dec.get_u64().code(), ErrorCode::kCorruption);
+}
+
+TEST(Codec, TruncatedBlobDetected) {
+  std::vector<std::uint8_t> buf;
+  Encoder enc(&buf);
+  enc.put_string("hello world");
+  buf.resize(buf.size() - 3);
+  Decoder dec(buf);
+  EXPECT_EQ(dec.get_string().code(), ErrorCode::kCorruption);
+}
+
+TEST(Codec, RandomBlobsRoundtrip) {
+  Rng rng(37);
+  for (int iter = 0; iter < 200; ++iter) {
+    std::vector<std::uint8_t> blob(
+        static_cast<size_t>(rng.uniform(0, 300)));
+    for (auto& b : blob) b = static_cast<std::uint8_t>(rng.uniform(0, 255));
+    std::vector<std::uint8_t> buf;
+    Encoder enc(&buf);
+    enc.put_bytes(blob);
+    Decoder dec(buf);
+    EXPECT_EQ(dec.get_bytes().value(), blob);
+  }
+}
+
+TEST(Crc32c, KnownProperties) {
+  const std::vector<std::uint8_t> a{'a', 'b', 'c'};
+  const std::vector<std::uint8_t> b{'a', 'b', 'd'};
+  EXPECT_EQ(crc32c(a), crc32c(a));
+  EXPECT_NE(crc32c(a), crc32c(b));
+  EXPECT_NE(crc32c(a), crc32c({}));
+}
+
+TEST(TablePrinter, RendersAlignedTable) {
+  TablePrinter t({"Name", "Value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("| Name  | Value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 22222 |"), std::string::npos);
+}
+
+TEST(TablePrinter, NumberFormatting) {
+  EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::num(1000.0, 0), "1000");
+}
+
+}  // namespace
+}  // namespace vdb

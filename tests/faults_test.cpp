@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "faults/classification.hpp"
+#include "faults/fault_injector.hpp"
+#include "tests/test_env.hpp"
+
+namespace vdb::faults {
+namespace {
+
+using testing::SimEnv;
+using testing::SmallDb;
+using testing::put_row;
+
+TEST(Classification, FiveClassesAsInPaper) {
+  EXPECT_EQ(fault_classes().size(), 5u);  // paper Table 1
+}
+
+TEST(Classification, TypeTableMatchesPaper) {
+  // Table 2 lists 31 concrete types across the five classes.
+  EXPECT_EQ(fault_types().size(), 31u);
+  // Exactly six are selected into the benchmark faultload (§4).
+  size_t injected = 0;
+  for (const auto& type : fault_types()) {
+    if (type.injected_in_benchmark) injected += 1;
+  }
+  EXPECT_EQ(injected, kFaultTypeCount);
+}
+
+TEST(Classification, PortabilityMixMatchesPaper) {
+  size_t oracle_specific = 0, portable = 0;
+  for (const auto& type : fault_types()) {
+    if (type.portability == Portability::kOracleSpecific) {
+      oracle_specific += 1;
+    } else {
+      portable += 1;
+    }
+  }
+  // "Most of the faults are expected to be found in other DBMS."
+  EXPECT_GT(portable, oracle_specific * 2);
+}
+
+TEST(RecoveryKinds, MappingMatchesPaper) {
+  // Complete-recovery faults (Table 5).
+  EXPECT_EQ(recovery_kind(FaultType::kShutdownAbort),
+            RecoveryKind::kInstanceRestart);
+  EXPECT_EQ(recovery_kind(FaultType::kDeleteDatafile),
+            RecoveryKind::kMediaRecovery);
+  EXPECT_EQ(recovery_kind(FaultType::kSetDatafileOffline),
+            RecoveryKind::kDatafileRollForward);
+  EXPECT_EQ(recovery_kind(FaultType::kSetTablespaceOffline),
+            RecoveryKind::kTablespaceOnline);
+  // Incomplete-recovery faults (Table 4).
+  EXPECT_TRUE(incomplete_recovery(FaultType::kDeleteTablespace));
+  EXPECT_TRUE(incomplete_recovery(FaultType::kDeleteUserObject));
+  EXPECT_FALSE(incomplete_recovery(FaultType::kShutdownAbort));
+  EXPECT_FALSE(incomplete_recovery(FaultType::kDeleteDatafile));
+}
+
+class InjectorTest : public ::testing::Test {
+ protected:
+  SimEnv env_;
+  std::unique_ptr<SmallDb> db_;
+  FaultInjector injector_;
+
+  void SetUp() override {
+    db_ = std::make_unique<SmallDb>(env_);
+    put_row(*db_->db, db_->table, "data");
+  }
+
+  FaultSpec spec(FaultType type) {
+    FaultSpec s;
+    s.type = type;
+    s.tablespace = "USERS";
+    s.table = "accounts";
+    s.datafile_index = 0;
+    return s;
+  }
+};
+
+TEST_F(InjectorTest, ShutdownAbortKillsInstance) {
+  ASSERT_TRUE(injector_.inject(*db_->db, spec(FaultType::kShutdownAbort))
+                  .is_ok());
+  EXPECT_EQ(db_->db->state(), engine::InstanceState::kCrashed);
+  EXPECT_EQ(injector_.injected_count(), 1u);
+}
+
+TEST_F(InjectorTest, DeleteDatafileRemovesTheFile) {
+  ASSERT_TRUE(env_.host.fs().exists("/data/users01.dbf"));
+  ASSERT_TRUE(injector_.inject(*db_->db, spec(FaultType::kDeleteDatafile))
+                  .is_ok());
+  EXPECT_FALSE(env_.host.fs().exists("/data/users01.dbf"));
+  // The instance is still up — damage surfaces later (latent fault).
+  EXPECT_TRUE(db_->db->is_open());
+}
+
+TEST_F(InjectorTest, DeleteTablespaceDropsObjects) {
+  ASSERT_TRUE(injector_.inject(*db_->db, spec(FaultType::kDeleteTablespace))
+                  .is_ok());
+  EXPECT_EQ(db_->db->table_id("accounts").code(), ErrorCode::kNotFound);
+  EXPECT_FALSE(env_.host.fs().exists("/data/users01.dbf"));
+}
+
+TEST_F(InjectorTest, SetDatafileOfflineBlocksAccess) {
+  ASSERT_TRUE(
+      injector_.inject(*db_->db, spec(FaultType::kSetDatafileOffline))
+          .is_ok());
+  auto txn = db_->db->begin();
+  ASSERT_TRUE(txn.is_ok());
+  EXPECT_FALSE(
+      db_->db->insert(txn.value(), db_->table, testing::row("x")).is_ok());
+  ASSERT_TRUE(db_->db->rollback(txn.value()).is_ok());
+}
+
+TEST_F(InjectorTest, SetTablespaceOfflineBlocksAccess) {
+  ASSERT_TRUE(
+      injector_.inject(*db_->db, spec(FaultType::kSetTablespaceOffline))
+          .is_ok());
+  auto txn = db_->db->begin();
+  EXPECT_FALSE(
+      db_->db->insert(txn.value(), db_->table, testing::row("x")).is_ok());
+  ASSERT_TRUE(db_->db->rollback(txn.value()).is_ok());
+  // Recovery is one ALTER ... ONLINE.
+  ASSERT_TRUE(db_->db->alter_tablespace_online("USERS").is_ok());
+  put_row(*db_->db, db_->table, "works-again");
+}
+
+TEST_F(InjectorTest, DeleteUserObjectDropsTable) {
+  ASSERT_TRUE(injector_.inject(*db_->db, spec(FaultType::kDeleteUserObject))
+                  .is_ok());
+  EXPECT_EQ(db_->db->table_id("accounts").code(), ErrorCode::kNotFound);
+  EXPECT_TRUE(db_->db->is_open());  // instance survives
+}
+
+TEST_F(InjectorTest, TargetDatafileResolves) {
+  auto fid = FaultInjector::target_datafile(*db_->db,
+                                            spec(FaultType::kDeleteDatafile));
+  ASSERT_TRUE(fid.is_ok());
+  EXPECT_EQ(fid.value(), FileId{0});
+  FaultSpec bad = spec(FaultType::kDeleteDatafile);
+  bad.datafile_index = 99;
+  EXPECT_FALSE(FaultInjector::target_datafile(*db_->db, bad).is_ok());
+}
+
+TEST_F(InjectorTest, UnknownTargetsFail) {
+  FaultSpec s = spec(FaultType::kDeleteTablespace);
+  s.tablespace = "NOPE";
+  EXPECT_FALSE(injector_.inject(*db_->db, s).is_ok());
+  FaultSpec t = spec(FaultType::kDeleteUserObject);
+  t.table = "ghost";
+  EXPECT_FALSE(injector_.inject(*db_->db, t).is_ok());
+}
+
+}  // namespace
+}  // namespace vdb::faults

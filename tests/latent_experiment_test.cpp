@@ -1,0 +1,119 @@
+// End-to-end two-fault experiments through the Experiment harness (the
+// extension campaign), plus driver response-time reporting.
+#include <gtest/gtest.h>
+
+#include "benchmark/experiment.hpp"
+#include "tests/test_env.hpp"
+#include "tpcc/tpcc_db.hpp"
+#include "tpcc/tpcc_driver.hpp"
+#include "tpcc/tpcc_loader.hpp"
+
+namespace vdb::bench {
+namespace {
+
+ExperimentOptions two_fault_options() {
+  ExperimentOptions opts;
+  opts.config = RecoveryConfigSpec{"F10G3T1", 10, 3, 60};
+  opts.archive_mode = true;
+  opts.duration = 4 * kMinute;
+  opts.scale.warehouses = 1;
+  opts.scale.customers_per_district = 100;
+  opts.scale.items = 1000;
+  opts.scale.initial_orders_per_district = 100;
+  faults::FaultSpec fault;
+  fault.type = faults::FaultType::kDeleteDatafile;
+  fault.inject_at = 150 * kSecond;
+  opts.fault = fault;
+  return opts;
+}
+
+TEST(LatentExperiment, ControlArmRecoversCompletely) {
+  auto result = Experiment(two_fault_options()).run();
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_TRUE(result.value().recovered);
+  EXPECT_TRUE(result.value().recovery_complete);
+  EXPECT_EQ(result.value().lost_committed, 0u);
+  EXPECT_EQ(result.value().integrity_violations, 0u);
+}
+
+TEST(LatentExperiment, DeletedArchiveDegradesToRestore) {
+  ExperimentOptions opts = two_fault_options();
+  faults::ExtendedFaultSpec latent;
+  latent.type = faults::ExtendedFaultType::kDeleteArchiveLog;
+  opts.latent_fault = latent;
+  opts.latent_inject_at = 60 * kSecond;
+
+  auto result = Experiment(opts).run();
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_TRUE(result.value().recovered);
+  EXPECT_FALSE(result.value().recovery_complete);
+  // Restore-to-backup: everything committed since the backup is gone.
+  EXPECT_GT(result.value().lost_committed, 100u);
+  // ...but whatever was recovered is intact.
+  EXPECT_EQ(result.value().integrity_violations, 0u);
+}
+
+TEST(LatentExperiment, MissingBackupsAreUnrecoverable) {
+  ExperimentOptions opts = two_fault_options();
+  faults::ExtendedFaultSpec latent;
+  latent.type = faults::ExtendedFaultType::kDestroyBackups;
+  opts.latent_fault = latent;
+
+  auto result = Experiment(opts).run();
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_FALSE(result.value().recovered);
+  EXPECT_FALSE(result.value().recovery_complete);
+  EXPECT_GT(result.value().lost_committed, 100u);
+}
+
+}  // namespace
+}  // namespace vdb::bench
+
+namespace vdb::tpcc {
+namespace {
+
+using ::vdb::testing::SimEnv;
+using ::vdb::testing::small_db_config;
+
+TEST(DriverResponseTimes, PercentilesAreOrderedAndPositive) {
+  SimEnv env;
+  engine::DatabaseConfig cfg = small_db_config();
+  cfg.redo.file_size_bytes = 4 * 1024 * 1024;
+  cfg.storage.cache_pages = 1024;
+  auto db = std::make_unique<engine::Database>(&env.host, &env.sched, cfg);
+  ASSERT_TRUE(db->create().is_ok());
+  ASSERT_TRUE(db->create_tablespace("TPCC", {{"/data/t1.dbf", 256},
+                                             {"/data/t2.dbf", 256}})
+                  .is_ok());
+  auto user = db->create_user("TPCC", false);
+  TpccScale scale;
+  scale.warehouses = 1;
+  scale.customers_per_district = 50;
+  scale.items = 300;
+  scale.initial_orders_per_district = 50;
+  TpccDb tdb(scale);
+  ASSERT_TRUE(tdb.create_schema(*db, "TPCC", user.value()).is_ok());
+  ASSERT_TRUE(tdb.attach(db.get()).is_ok());
+  Loader loader(&tdb, 5);
+  ASSERT_TRUE(loader.load().is_ok());
+
+  Driver driver(&tdb, &env.sched, DriverConfig{7});
+  ASSERT_TRUE(driver.run_until(env.clock.now() + 60 * kSecond).is_ok());
+
+  for (TxnType type : {TxnType::kNewOrder, TxnType::kPayment}) {
+    const SimDuration p50 = driver.response_percentile(type, 0.5);
+    const SimDuration p90 = driver.response_percentile(type, 0.9);
+    EXPECT_GT(p50, 0u);
+    EXPECT_GE(p90, p50);
+    EXPECT_GT(driver.mean_response(type), 0u);
+  }
+  // New-Order does more work than Payment: its responses are longer.
+  EXPECT_GT(driver.mean_response(TxnType::kNewOrder),
+            driver.mean_response(TxnType::kPayment));
+  // No samples → zero.
+  Driver empty(&tdb, &env.sched, DriverConfig{8});
+  EXPECT_EQ(empty.response_percentile(TxnType::kDelivery, 0.9), 0u);
+}
+
+}  // namespace
+}  // namespace vdb::tpcc

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "storage/page.hpp"
+
+namespace vdb::storage {
+namespace {
+
+TEST(Page, VirginPageIsUnformatted) {
+  Page page;
+  EXPECT_FALSE(page.formatted());
+  EXPECT_TRUE(page.verify_checksum());  // trivially valid
+}
+
+TEST(Page, FormatSetsHeader) {
+  Page page;
+  page.format(TableId{7}, 100);
+  EXPECT_TRUE(page.formatted());
+  EXPECT_EQ(page.owner(), TableId{7});
+  EXPECT_EQ(page.slot_size(), 100);
+  EXPECT_EQ(page.used_count(), 0);
+  EXPECT_GT(page.capacity(), 0);
+  EXPECT_EQ(page.lsn(), 0u);
+}
+
+TEST(Page, CapacityFitsInPage) {
+  for (std::uint16_t slot_size : {8, 24, 64, 100, 512, 760, 4000}) {
+    const auto cap = Page::capacity_for(slot_size);
+    const size_t stride = slot_size + 2u;
+    EXPECT_LE(Page::kHeaderBase + (cap + 7) / 8 + cap * stride, Page::kSize)
+        << "slot_size=" << slot_size;
+    // And one more slot would not fit.
+    EXPECT_GT(Page::kHeaderBase + (cap + 8) / 8 + (cap + 1) * stride,
+              Page::kSize)
+        << "slot_size=" << slot_size;
+  }
+}
+
+TEST(Page, SlotLifecycle) {
+  Page page;
+  page.format(TableId{1}, 16);
+  EXPECT_EQ(page.find_free_slot(), 0);
+  const std::vector<std::uint8_t> payload{1, 2, 3};
+  page.set_slot(0, payload);
+  EXPECT_TRUE(page.slot_used(0));
+  EXPECT_EQ(page.used_count(), 1);
+  EXPECT_EQ(page.find_free_slot(), 1);
+
+  auto read = page.read_slot(0);
+  ASSERT_TRUE(read.is_ok());
+  EXPECT_EQ(std::vector<std::uint8_t>(read.value().begin(),
+                                      read.value().end()),
+            payload);
+
+  page.clear_slot(0);
+  EXPECT_FALSE(page.slot_used(0));
+  EXPECT_EQ(page.used_count(), 0);
+  EXPECT_EQ(page.read_slot(0).code(), ErrorCode::kNotFound);
+}
+
+TEST(Page, OverwriteKeepsUsedCount) {
+  Page page;
+  page.format(TableId{1}, 16);
+  page.set_slot(3, std::vector<std::uint8_t>{1});
+  page.set_slot(3, std::vector<std::uint8_t>{2, 2});
+  EXPECT_EQ(page.used_count(), 1);
+  auto read = page.read_slot(3);
+  ASSERT_TRUE(read.is_ok());
+  EXPECT_EQ(read.value().size(), 2u);
+}
+
+TEST(Page, FillToCapacity) {
+  Page page;
+  page.format(TableId{1}, 32);
+  const auto cap = page.capacity();
+  for (std::uint16_t i = 0; i < cap; ++i) {
+    const auto slot = page.find_free_slot();
+    ASSERT_NE(slot, Page::kNoSlot);
+    page.set_slot(slot, std::vector<std::uint8_t>{static_cast<uint8_t>(i)});
+  }
+  EXPECT_EQ(page.used_count(), cap);
+  EXPECT_EQ(page.find_free_slot(), Page::kNoSlot);
+}
+
+TEST(Page, LsnStored) {
+  Page page;
+  page.format(TableId{1}, 16);
+  page.set_lsn(123456789);
+  EXPECT_EQ(page.lsn(), 123456789u);
+}
+
+TEST(Page, ChecksumDetectsCorruption) {
+  Page page;
+  page.format(TableId{1}, 16);
+  page.set_slot(0, std::vector<std::uint8_t>{42});
+  page.update_checksum();
+  EXPECT_TRUE(page.verify_checksum());
+  // Flip one payload byte.
+  page.raw()[Page::kSize - 1] ^= 0xFF;
+  EXPECT_FALSE(page.verify_checksum());
+}
+
+class PageSlotSweep : public ::testing::TestWithParam<std::uint16_t> {};
+
+TEST_P(PageSlotSweep, RandomFillAndVerify) {
+  const std::uint16_t slot_size = GetParam();
+  Page page;
+  page.format(TableId{9}, slot_size);
+  Rng rng(slot_size);
+  std::vector<std::vector<std::uint8_t>> shadow(page.capacity());
+
+  // Random slot writes/clears, then verify every slot against a shadow.
+  for (int op = 0; op < 500; ++op) {
+    const auto slot =
+        static_cast<std::uint16_t>(rng.uniform(0, page.capacity() - 1));
+    if (rng.chance(0.3) && page.slot_used(slot)) {
+      page.clear_slot(slot);
+      shadow[slot].clear();
+    } else {
+      std::vector<std::uint8_t> payload(
+          static_cast<size_t>(rng.uniform(1, slot_size)));
+      for (auto& b : payload) b = static_cast<std::uint8_t>(rng.uniform(0, 255));
+      page.set_slot(slot, payload);
+      shadow[slot] = payload;
+    }
+  }
+  std::uint16_t used = 0;
+  for (std::uint16_t s = 0; s < page.capacity(); ++s) {
+    if (shadow[s].empty()) {
+      EXPECT_FALSE(page.slot_used(s));
+    } else {
+      used += 1;
+      auto read = page.read_slot(s);
+      ASSERT_TRUE(read.is_ok());
+      EXPECT_EQ(std::vector<std::uint8_t>(read.value().begin(),
+                                          read.value().end()),
+                shadow[s]);
+    }
+  }
+  EXPECT_EQ(page.used_count(), used);
+  page.update_checksum();
+  EXPECT_TRUE(page.verify_checksum());
+}
+
+INSTANTIATE_TEST_SUITE_P(SlotSizes, PageSlotSweep,
+                         ::testing::Values(8, 24, 48, 96, 176, 384, 760));
+
+}  // namespace
+}  // namespace vdb::storage

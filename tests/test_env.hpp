@@ -1,0 +1,88 @@
+// Shared test fixtures: a simulated machine and small-database helpers.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/database.hpp"
+#include "sim/host.hpp"
+#include "sim/scheduler.hpp"
+
+namespace vdb::testing {
+
+/// One simulated machine with the standard four-disk layout.
+struct SimEnv {
+  sim::VirtualClock clock;
+  sim::Scheduler sched{&clock};
+  sim::Host host{"test", &clock};
+
+  SimEnv() {
+    host.add_disk("/data");
+    host.add_disk("/redo");
+    host.add_disk("/arch");
+    host.add_disk("/backup");
+  }
+};
+
+inline engine::DatabaseConfig small_db_config(bool archive = false) {
+  engine::DatabaseConfig cfg;
+  cfg.redo.file_size_bytes = 1 * 1024 * 1024;
+  cfg.redo.groups = 3;
+  cfg.redo.archive_mode = archive;
+  cfg.checkpoint_timeout = 30 * kSecond;
+  cfg.storage.cache_pages = 256;
+  return cfg;
+}
+
+/// A fresh database with one USERS tablespace and an "accounts" table.
+struct SmallDb {
+  std::unique_ptr<engine::Database> db;
+  TableId table{};
+  UserId user{};
+
+  explicit SmallDb(SimEnv& env,
+                   engine::DatabaseConfig cfg = small_db_config()) {
+    db = std::make_unique<engine::Database>(&env.host, &env.sched, cfg);
+    VDB_CHECK(db->create().is_ok());
+    VDB_CHECK(
+        db->create_tablespace("USERS", {{"/data/users01.dbf", 64}}).is_ok());
+    auto u = db->create_user("APP", false);
+    VDB_CHECK(u.is_ok());
+    user = u.value();
+    auto t = db->create_table("accounts", "USERS", 64, user);
+    VDB_CHECK(t.is_ok());
+    table = t.value();
+  }
+};
+
+inline std::vector<std::uint8_t> row(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+inline std::string row_str(std::span<const std::uint8_t> bytes) {
+  return {bytes.begin(), bytes.end()};
+}
+
+/// Inserts a row in its own committed transaction; returns its RowId.
+inline RowId put_row(engine::Database& db, TableId table,
+                     const std::string& value) {
+  auto txn = db.begin();
+  VDB_CHECK(txn.is_ok());
+  auto rid = db.insert(txn.value(), table, row(value));
+  VDB_CHECK_MSG(rid.is_ok(), rid.status().to_string());
+  VDB_CHECK(db.commit(txn.value()).is_ok());
+  return rid.value();
+}
+
+/// All live rows of a table as strings (scan order).
+inline std::vector<std::string> all_rows(engine::Database& db, TableId table) {
+  std::vector<std::string> out;
+  VDB_CHECK(db.scan(table, [&](RowId, std::span<const std::uint8_t> bytes) {
+                out.push_back(row_str(bytes));
+                return true;
+              }).is_ok());
+  return out;
+}
+
+}  // namespace vdb::testing

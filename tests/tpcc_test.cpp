@@ -1,0 +1,333 @@
+#include <gtest/gtest.h>
+
+#include "tests/test_env.hpp"
+#include "tpcc/consistency.hpp"
+#include "tpcc/schema.hpp"
+#include "tpcc/tpcc_db.hpp"
+#include "tpcc/tpcc_driver.hpp"
+#include "tpcc/tpcc_loader.hpp"
+#include "tpcc/tpcc_random.hpp"
+#include "tpcc/tpcc_txns.hpp"
+
+namespace vdb::tpcc {
+namespace {
+
+using testing::SimEnv;
+using testing::small_db_config;
+
+TEST(TpccSchema, RowCodecsRoundtrip) {
+  CustomerRow c;
+  c.c_id = 5;
+  c.c_d_id = 3;
+  c.c_w_id = 1;
+  c.c_first = "First";
+  c.c_middle = "OE";
+  c.c_last = "BARBARBAR";
+  c.c_credit = "BC";
+  c.c_balance = -42.5;
+  c.c_data = std::string(500, 'd');
+  const auto bytes = to_bytes(c);
+  EXPECT_LE(bytes.size(), CustomerRow::kSlotSize);
+  const auto back = from_bytes<CustomerRow>(bytes);
+  EXPECT_EQ(back.c_last, "BARBARBAR");
+  EXPECT_DOUBLE_EQ(back.c_balance, -42.5);
+  EXPECT_EQ(back.c_data.size(), 500u);
+
+  StockRow s;
+  s.s_i_id = 7;
+  s.s_w_id = 2;
+  s.s_quantity = -3;  // can go below zero per spec arithmetic
+  for (auto& d : s.s_dist) d = std::string(24, 'x');
+  s.s_data = std::string(50, 'y');
+  const auto sbytes = to_bytes(s);
+  EXPECT_LE(sbytes.size(), StockRow::kSlotSize);
+  const auto sback = from_bytes<StockRow>(sbytes);
+  EXPECT_EQ(sback.s_quantity, -3);
+  EXPECT_EQ(sback.s_dist[9].size(), 24u);
+
+  OrderRow o;
+  o.o_id = 1;
+  o.o_carrier_id = -1;
+  o.o_ol_cnt = 15;
+  const auto oback = from_bytes<OrderRow>(to_bytes(o));
+  EXPECT_EQ(oback.o_carrier_id, -1);
+  EXPECT_EQ(oback.o_ol_cnt, 15);
+}
+
+TEST(TpccSchema, MaximalRowsFitSlots) {
+  // Worst-case string fields must fit the declared slot sizes.
+  WarehouseRow w;
+  w.w_name = std::string(10, 'x');
+  w.w_street_1 = w.w_street_2 = w.w_city = std::string(20, 'x');
+  w.w_state = "XX";
+  w.w_zip = "123456789";
+  EXPECT_LE(to_bytes(w).size(), WarehouseRow::kSlotSize);
+
+  OrderLineRow ol;
+  ol.ol_dist_info = std::string(24, 'x');
+  EXPECT_LE(to_bytes(ol).size(), OrderLineRow::kSlotSize);
+
+  ItemRow item;
+  item.i_name = std::string(24, 'x');
+  item.i_data = std::string(50, 'x');
+  EXPECT_LE(to_bytes(item).size(), ItemRow::kSlotSize);
+
+  HistoryRow h;
+  h.h_data = std::string(24, 'x');
+  EXPECT_LE(to_bytes(h).size(), HistoryRow::kSlotSize);
+}
+
+TEST(TpccRandom, LastNameSyllables) {
+  TpccRandom tr(Rng{1}, TpccScale{});
+  EXPECT_EQ(tr.last_name(0), "BARBARBAR");
+  EXPECT_EQ(tr.last_name(371), "PRICALLYOUGHT");
+  EXPECT_EQ(tr.last_name(999), "EINGEINGEING");
+}
+
+TEST(TpccRandom, GeneratorsRespectScale) {
+  TpccScale scale;
+  scale.warehouses = 3;
+  scale.customers_per_district = 50;
+  scale.items = 100;
+  TpccRandom tr(Rng{2}, scale);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_LE(tr.nurand_customer_id(), 50u);
+    EXPECT_GE(tr.nurand_customer_id(), 1u);
+    EXPECT_LE(tr.nurand_item_id(), 100u);
+    EXPECT_GE(tr.nurand_item_id(), 1u);
+    EXPECT_LE(tr.warehouse_id(), 3u);
+    EXPECT_GE(tr.warehouse_id(), 1u);
+    EXPECT_LE(tr.district_id(), 10u);
+  }
+}
+
+/// Full TPC-C environment on a small scale.
+class TpccFixture : public ::testing::Test {
+ protected:
+  SimEnv env_;
+  engine::DatabaseConfig cfg_;
+  std::unique_ptr<engine::Database> db_;
+  TpccScale scale_;
+  std::unique_ptr<TpccDb> tdb_;
+
+  void SetUp() override {
+    cfg_ = small_db_config();
+    cfg_.redo.file_size_bytes = 2 * 1024 * 1024;
+    cfg_.storage.cache_pages = 1024;
+    scale_.warehouses = 1;
+    scale_.customers_per_district = 30;
+    scale_.items = 200;
+    scale_.initial_orders_per_district = 30;
+
+    db_ = std::make_unique<engine::Database>(&env_.host, &env_.sched, cfg_);
+    ASSERT_TRUE(db_->create().is_ok());
+    ASSERT_TRUE(db_->create_tablespace("TPCC", {{"/data/tpcc01.dbf", 256},
+                                                {"/data/tpcc02.dbf", 256}})
+                    .is_ok());
+    auto user = db_->create_user("TPCC", false);
+    ASSERT_TRUE(user.is_ok());
+    tdb_ = std::make_unique<TpccDb>(scale_);
+    ASSERT_TRUE(tdb_->create_schema(*db_, "TPCC", user.value()).is_ok());
+    ASSERT_TRUE(tdb_->attach(db_.get()).is_ok());
+    Loader loader(tdb_.get(), 99);
+    auto stats = loader.load();
+    ASSERT_TRUE(stats.is_ok()) << stats.status().to_string();
+  }
+};
+
+TEST_F(TpccFixture, LoaderPopulatesSpecCardinalities) {
+  auto count = [&](Tbl t) {
+    std::uint64_t n = 0;
+    VDB_CHECK(db_->scan(tdb_->table(t),
+                        [&](RowId, std::span<const std::uint8_t>) {
+                          n += 1;
+                          return true;
+                        })
+                  .is_ok());
+    return n;
+  };
+  EXPECT_EQ(count(Tbl::kWarehouse), 1u);
+  EXPECT_EQ(count(Tbl::kDistrict), 10u);
+  EXPECT_EQ(count(Tbl::kCustomer), 300u);   // 30 × 10 districts
+  EXPECT_EQ(count(Tbl::kHistory), 300u);
+  EXPECT_EQ(count(Tbl::kItem), 200u);
+  EXPECT_EQ(count(Tbl::kStock), 200u);
+  EXPECT_EQ(count(Tbl::kOrder), 300u);
+  EXPECT_EQ(count(Tbl::kNewOrder), 90u);    // 30% undelivered
+  EXPECT_GT(count(Tbl::kOrderLine), 300u * 5);
+}
+
+TEST_F(TpccFixture, IndexesMatchHeapAfterLoad) {
+  // Every order row is reachable through its index.
+  std::uint64_t checked = 0;
+  ASSERT_TRUE(db_->scan(tdb_->table(Tbl::kOrder),
+                        [&](RowId rid, std::span<const std::uint8_t> bytes) {
+                          auto r = from_bytes<OrderRow>(bytes);
+                          auto idx =
+                              tdb_->order_rid(r.o_w_id, r.o_d_id, r.o_id);
+                          EXPECT_TRUE(idx.has_value());
+                          if (idx) EXPECT_EQ(*idx, rid);
+                          checked += 1;
+                          return true;
+                        })
+                  .is_ok());
+  EXPECT_EQ(checked, 300u);
+}
+
+TEST_F(TpccFixture, InitialStateIsConsistent) {
+  ConsistencyChecker checker(tdb_.get());
+  auto report = checker.run_all();
+  ASSERT_TRUE(report.is_ok());
+  for (const auto& msg : report.value().messages) ADD_FAILURE() << msg;
+  EXPECT_EQ(report.value().violations, 0u);
+  EXPECT_GE(report.value().checks_run, 7u);
+}
+
+TEST_F(TpccFixture, CustomersByNameOrderedById) {
+  // Pick a known customer and look it up by name.
+  auto rid = tdb_->customer_rid(1, 1, 1);
+  ASSERT_TRUE(rid.has_value());
+  auto txn = db_->begin();
+  auto cust = tdb_->read_row<CustomerRow>(txn.value(), Tbl::kCustomer, *rid);
+  ASSERT_TRUE(cust.is_ok());
+  ASSERT_TRUE(db_->commit(txn.value()).is_ok());
+
+  auto matches = tdb_->customers_by_name(1, 1, cust.value().c_last);
+  ASSERT_FALSE(matches.empty());
+  for (size_t i = 1; i < matches.size(); ++i) {
+    EXPECT_LT(matches[i - 1].first, matches[i].first);
+  }
+}
+
+TEST_F(TpccFixture, EachTransactionTypeExecutes) {
+  TpccRandom random(Rng{7}, scale_);
+  TpccTxns txns(tdb_.get(), &random);
+  for (TxnType type : {TxnType::kNewOrder, TxnType::kPayment,
+                       TxnType::kOrderStatus, TxnType::kDelivery,
+                       TxnType::kStockLevel}) {
+    auto outcome = txns.run(type, 1);
+    ASSERT_TRUE(outcome.is_ok())
+        << to_string(type) << ": " << outcome.status().to_string();
+    EXPECT_TRUE(outcome.value().committed ||
+                outcome.value().intentional_rollback);
+  }
+}
+
+TEST_F(TpccFixture, NewOrderAdvancesDistrictAndStock) {
+  auto d_rid = tdb_->district_rid(1, 1);
+  ASSERT_TRUE(d_rid.has_value());
+  auto txn0 = db_->begin();
+  const auto before =
+      tdb_->read_row<DistrictRow>(txn0.value(), Tbl::kDistrict, *d_rid);
+  ASSERT_TRUE(db_->commit(txn0.value()).is_ok());
+
+  TpccRandom random(Rng{8}, scale_);
+  TpccTxns txns(tdb_.get(), &random);
+  int committed = 0;
+  for (int i = 0; i < 40; ++i) {
+    auto outcome = txns.new_order(1);
+    ASSERT_TRUE(outcome.is_ok());
+    if (outcome.value().committed) committed += 1;
+  }
+  EXPECT_GT(committed, 30);
+
+  auto txn1 = db_->begin();
+  const auto after =
+      tdb_->read_row<DistrictRow>(txn1.value(), Tbl::kDistrict, *d_rid);
+  ASSERT_TRUE(db_->commit(txn1.value()).is_ok());
+  EXPECT_GT(after.value().d_next_o_id, before.value().d_next_o_id);
+}
+
+TEST_F(TpccFixture, WorkloadStaysConsistent) {
+  Driver driver(tdb_.get(), &env_.sched, DriverConfig{31, 10 * kSecond});
+  const SimTime start = env_.clock.now();
+  ASSERT_TRUE(driver.run_until(start + 60 * kSecond).is_ok());
+  EXPECT_GT(driver.stats().committed, 100u);
+
+  ConsistencyChecker checker(tdb_.get());
+  auto report = checker.run_all();
+  ASSERT_TRUE(report.is_ok());
+  for (const auto& msg : report.value().messages) ADD_FAILURE() << msg;
+  EXPECT_EQ(report.value().violations, 0u);
+}
+
+TEST_F(TpccFixture, DriverMixApproximatesSpec) {
+  Driver driver(tdb_.get(), &env_.sched, DriverConfig{41, 10 * kSecond});
+  const SimTime start = env_.clock.now();
+  ASSERT_TRUE(driver.run_until(start + 120 * kSecond).is_ok());
+  const auto& stats = driver.stats();
+  const double total = static_cast<double>(stats.committed);
+  ASSERT_GT(total, 500);
+  const double new_order_share =
+      static_cast<double>(
+          stats.committed_by_type[static_cast<size_t>(TxnType::kNewOrder)]) /
+      total;
+  const double payment_share =
+      static_cast<double>(
+          stats.committed_by_type[static_cast<size_t>(TxnType::kPayment)]) /
+      total;
+  EXPECT_NEAR(new_order_share, 10.0 / 23.0, 0.05);
+  EXPECT_NEAR(payment_share, 10.0 / 23.0, 0.05);
+}
+
+TEST_F(TpccFixture, DriverRecordsCommitLsns) {
+  Driver driver(tdb_.get(), &env_.sched, DriverConfig{51, 10 * kSecond});
+  const SimTime start = env_.clock.now();
+  ASSERT_TRUE(driver.run_until(start + 20 * kSecond).is_ok());
+  ASSERT_FALSE(driver.commits().empty());
+  // Write transactions carry increasing commit LSNs.
+  Lsn last = 0;
+  for (const auto& commit : driver.commits()) {
+    if (commit.commit_lsn == 0) continue;  // read-only
+    EXPECT_GT(commit.commit_lsn, last);
+    last = commit.commit_lsn;
+  }
+  EXPECT_GT(last, 0u);
+  // count_lost: everything above an LSN in the middle is "lost".
+  const Lsn mid = last / 2;
+  EXPECT_GT(driver.count_lost(mid, env_.clock.now()), 0u);
+  EXPECT_EQ(driver.count_lost(last, env_.clock.now()), 0u);
+}
+
+TEST_F(TpccFixture, ConsistencyCheckerDetectsSeededCorruption) {
+  // Corrupt one warehouse ytd and verify the checker notices.
+  auto w_rid = tdb_->warehouse_rid(1);
+  ASSERT_TRUE(w_rid.has_value());
+  auto txn = db_->begin();
+  auto wh = tdb_->read_row<WarehouseRow>(txn.value(), Tbl::kWarehouse, *w_rid);
+  ASSERT_TRUE(wh.is_ok());
+  WarehouseRow bad = wh.value();
+  bad.w_ytd += 1234.0;
+  ASSERT_TRUE(tdb_->update_row(txn.value(), Tbl::kWarehouse, *w_rid, bad)
+                  .is_ok());
+  ASSERT_TRUE(db_->commit(txn.value()).is_ok());
+
+  ConsistencyChecker checker(tdb_.get());
+  auto report = checker.run_all();
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_GT(report.value().violations, 0u);
+}
+
+TEST_F(TpccFixture, ConsistencyCheckerDetectsLostOrderLine) {
+  // Remove one order line behind the benchmark's back.
+  std::optional<RowId> victim;
+  ASSERT_TRUE(db_->scan(tdb_->table(Tbl::kOrderLine),
+                        [&](RowId rid, std::span<const std::uint8_t>) {
+                          victim = rid;
+                          return false;
+                        })
+                  .is_ok());
+  ASSERT_TRUE(victim.has_value());
+  auto txn = db_->begin();
+  ASSERT_TRUE(db_->erase(txn.value(), tdb_->table(Tbl::kOrderLine), *victim)
+                  .is_ok());
+  ASSERT_TRUE(db_->commit(txn.value()).is_ok());
+
+  ConsistencyChecker checker(tdb_.get());
+  auto report = checker.run_all();
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_GT(report.value().violations, 0u);
+}
+
+}  // namespace
+}  // namespace vdb::tpcc
