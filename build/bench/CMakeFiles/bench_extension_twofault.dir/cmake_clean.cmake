@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_twofault.dir/bench_extension_twofault.cpp.o"
+  "CMakeFiles/bench_extension_twofault.dir/bench_extension_twofault.cpp.o.d"
+  "bench_extension_twofault"
+  "bench_extension_twofault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_twofault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_figure7.cpp" "bench/CMakeFiles/bench_figure7.dir/bench_figure7.cpp.o" "gcc" "bench/CMakeFiles/bench_figure7.dir/bench_figure7.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/benchmark/CMakeFiles/vdb_benchmark.dir/DependInfo.cmake"
+  "/root/repo/build/src/standby/CMakeFiles/vdb_standby.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpcc/CMakeFiles/vdb_tpcc.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/vdb_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/recovery/CMakeFiles/vdb_recovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/vdb_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/vdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/vdb_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/wal/CMakeFiles/vdb_wal.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vdb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/vdb_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tables12.dir/bench_tables12.cpp.o"
+  "CMakeFiles/bench_tables12.dir/bench_tables12.cpp.o.d"
+  "bench_tables12"
+  "bench_tables12.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tables12.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/admin_shell_session.dir/admin_shell_session.cpp.o"
+  "CMakeFiles/admin_shell_session.dir/admin_shell_session.cpp.o.d"
+  "admin_shell_session"
+  "admin_shell_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/admin_shell_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

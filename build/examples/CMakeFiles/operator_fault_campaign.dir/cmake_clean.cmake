@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/operator_fault_campaign.dir/operator_fault_campaign.cpp.o"
+  "CMakeFiles/operator_fault_campaign.dir/operator_fault_campaign.cpp.o.d"
+  "operator_fault_campaign"
+  "operator_fault_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/operator_fault_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

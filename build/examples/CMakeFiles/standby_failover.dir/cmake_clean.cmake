@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/standby_failover.dir/standby_failover.cpp.o"
+  "CMakeFiles/standby_failover.dir/standby_failover.cpp.o.d"
+  "standby_failover"
+  "standby_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/standby_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcc_performance.dir/tpcc_performance.cpp.o"
+  "CMakeFiles/tpcc_performance.dir/tpcc_performance.cpp.o.d"
+  "tpcc_performance"
+  "tpcc_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcc_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("storage")
+subdirs("index")
+subdirs("wal")
+subdirs("txn")
+subdirs("catalog")
+subdirs("engine")
+subdirs("recovery")
+subdirs("standby")
+subdirs("tpcc")
+subdirs("faults")
+subdirs("benchmark")

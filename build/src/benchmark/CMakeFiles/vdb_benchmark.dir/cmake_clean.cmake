@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdb_benchmark.dir/experiment.cpp.o"
+  "CMakeFiles/vdb_benchmark.dir/experiment.cpp.o.d"
+  "CMakeFiles/vdb_benchmark.dir/recovery_configs.cpp.o"
+  "CMakeFiles/vdb_benchmark.dir/recovery_configs.cpp.o.d"
+  "libvdb_benchmark.a"
+  "libvdb_benchmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdb_benchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdb_catalog.dir/catalog.cpp.o"
+  "CMakeFiles/vdb_catalog.dir/catalog.cpp.o.d"
+  "libvdb_catalog.a"
+  "libvdb_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdb_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

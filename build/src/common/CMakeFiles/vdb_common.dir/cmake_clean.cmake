@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdb_common.dir/codec.cpp.o"
+  "CMakeFiles/vdb_common.dir/codec.cpp.o.d"
+  "CMakeFiles/vdb_common.dir/rng.cpp.o"
+  "CMakeFiles/vdb_common.dir/rng.cpp.o.d"
+  "CMakeFiles/vdb_common.dir/status.cpp.o"
+  "CMakeFiles/vdb_common.dir/status.cpp.o.d"
+  "CMakeFiles/vdb_common.dir/table_printer.cpp.o"
+  "CMakeFiles/vdb_common.dir/table_printer.cpp.o.d"
+  "CMakeFiles/vdb_common.dir/types.cpp.o"
+  "CMakeFiles/vdb_common.dir/types.cpp.o.d"
+  "libvdb_common.a"
+  "libvdb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/admin_shell.cpp" "src/engine/CMakeFiles/vdb_engine.dir/admin_shell.cpp.o" "gcc" "src/engine/CMakeFiles/vdb_engine.dir/admin_shell.cpp.o.d"
+  "/root/repo/src/engine/control_file.cpp" "src/engine/CMakeFiles/vdb_engine.dir/control_file.cpp.o" "gcc" "src/engine/CMakeFiles/vdb_engine.dir/control_file.cpp.o.d"
+  "/root/repo/src/engine/database.cpp" "src/engine/CMakeFiles/vdb_engine.dir/database.cpp.o" "gcc" "src/engine/CMakeFiles/vdb_engine.dir/database.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vdb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/vdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/wal/CMakeFiles/vdb_wal.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/vdb_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/vdb_catalog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdb_engine.dir/admin_shell.cpp.o"
+  "CMakeFiles/vdb_engine.dir/admin_shell.cpp.o.d"
+  "CMakeFiles/vdb_engine.dir/control_file.cpp.o"
+  "CMakeFiles/vdb_engine.dir/control_file.cpp.o.d"
+  "CMakeFiles/vdb_engine.dir/database.cpp.o"
+  "CMakeFiles/vdb_engine.dir/database.cpp.o.d"
+  "libvdb_engine.a"
+  "libvdb_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdb_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

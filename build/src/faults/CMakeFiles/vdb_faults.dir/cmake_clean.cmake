@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdb_faults.dir/classification.cpp.o"
+  "CMakeFiles/vdb_faults.dir/classification.cpp.o.d"
+  "CMakeFiles/vdb_faults.dir/extended_faults.cpp.o"
+  "CMakeFiles/vdb_faults.dir/extended_faults.cpp.o.d"
+  "CMakeFiles/vdb_faults.dir/fault_injector.cpp.o"
+  "CMakeFiles/vdb_faults.dir/fault_injector.cpp.o.d"
+  "libvdb_faults.a"
+  "libvdb_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdb_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdb_recovery.dir/backup.cpp.o"
+  "CMakeFiles/vdb_recovery.dir/backup.cpp.o.d"
+  "CMakeFiles/vdb_recovery.dir/recovery_manager.cpp.o"
+  "CMakeFiles/vdb_recovery.dir/recovery_manager.cpp.o.d"
+  "libvdb_recovery.a"
+  "libvdb_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdb_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

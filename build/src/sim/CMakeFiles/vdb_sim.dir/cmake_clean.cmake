@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdb_sim.dir/disk.cpp.o"
+  "CMakeFiles/vdb_sim.dir/disk.cpp.o.d"
+  "CMakeFiles/vdb_sim.dir/filesystem.cpp.o"
+  "CMakeFiles/vdb_sim.dir/filesystem.cpp.o.d"
+  "CMakeFiles/vdb_sim.dir/network.cpp.o"
+  "CMakeFiles/vdb_sim.dir/network.cpp.o.d"
+  "CMakeFiles/vdb_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/vdb_sim.dir/scheduler.cpp.o.d"
+  "libvdb_sim.a"
+  "libvdb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

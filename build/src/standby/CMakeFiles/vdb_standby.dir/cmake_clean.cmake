@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdb_standby.dir/standby.cpp.o"
+  "CMakeFiles/vdb_standby.dir/standby.cpp.o.d"
+  "libvdb_standby.a"
+  "libvdb_standby.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdb_standby.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

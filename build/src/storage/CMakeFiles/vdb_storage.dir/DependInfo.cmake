@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/buffer_cache.cpp" "src/storage/CMakeFiles/vdb_storage.dir/buffer_cache.cpp.o" "gcc" "src/storage/CMakeFiles/vdb_storage.dir/buffer_cache.cpp.o.d"
+  "/root/repo/src/storage/page.cpp" "src/storage/CMakeFiles/vdb_storage.dir/page.cpp.o" "gcc" "src/storage/CMakeFiles/vdb_storage.dir/page.cpp.o.d"
+  "/root/repo/src/storage/storage_manager.cpp" "src/storage/CMakeFiles/vdb_storage.dir/storage_manager.cpp.o" "gcc" "src/storage/CMakeFiles/vdb_storage.dir/storage_manager.cpp.o.d"
+  "/root/repo/src/storage/table_heap.cpp" "src/storage/CMakeFiles/vdb_storage.dir/table_heap.cpp.o" "gcc" "src/storage/CMakeFiles/vdb_storage.dir/table_heap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vdb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdb_storage.dir/buffer_cache.cpp.o"
+  "CMakeFiles/vdb_storage.dir/buffer_cache.cpp.o.d"
+  "CMakeFiles/vdb_storage.dir/page.cpp.o"
+  "CMakeFiles/vdb_storage.dir/page.cpp.o.d"
+  "CMakeFiles/vdb_storage.dir/storage_manager.cpp.o"
+  "CMakeFiles/vdb_storage.dir/storage_manager.cpp.o.d"
+  "CMakeFiles/vdb_storage.dir/table_heap.cpp.o"
+  "CMakeFiles/vdb_storage.dir/table_heap.cpp.o.d"
+  "libvdb_storage.a"
+  "libvdb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvdb_storage.a"
+)

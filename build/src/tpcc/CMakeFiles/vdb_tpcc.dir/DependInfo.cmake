@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tpcc/consistency.cpp" "src/tpcc/CMakeFiles/vdb_tpcc.dir/consistency.cpp.o" "gcc" "src/tpcc/CMakeFiles/vdb_tpcc.dir/consistency.cpp.o.d"
+  "/root/repo/src/tpcc/schema.cpp" "src/tpcc/CMakeFiles/vdb_tpcc.dir/schema.cpp.o" "gcc" "src/tpcc/CMakeFiles/vdb_tpcc.dir/schema.cpp.o.d"
+  "/root/repo/src/tpcc/tpcc_db.cpp" "src/tpcc/CMakeFiles/vdb_tpcc.dir/tpcc_db.cpp.o" "gcc" "src/tpcc/CMakeFiles/vdb_tpcc.dir/tpcc_db.cpp.o.d"
+  "/root/repo/src/tpcc/tpcc_driver.cpp" "src/tpcc/CMakeFiles/vdb_tpcc.dir/tpcc_driver.cpp.o" "gcc" "src/tpcc/CMakeFiles/vdb_tpcc.dir/tpcc_driver.cpp.o.d"
+  "/root/repo/src/tpcc/tpcc_loader.cpp" "src/tpcc/CMakeFiles/vdb_tpcc.dir/tpcc_loader.cpp.o" "gcc" "src/tpcc/CMakeFiles/vdb_tpcc.dir/tpcc_loader.cpp.o.d"
+  "/root/repo/src/tpcc/tpcc_random.cpp" "src/tpcc/CMakeFiles/vdb_tpcc.dir/tpcc_random.cpp.o" "gcc" "src/tpcc/CMakeFiles/vdb_tpcc.dir/tpcc_random.cpp.o.d"
+  "/root/repo/src/tpcc/tpcc_txns.cpp" "src/tpcc/CMakeFiles/vdb_tpcc.dir/tpcc_txns.cpp.o" "gcc" "src/tpcc/CMakeFiles/vdb_tpcc.dir/tpcc_txns.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/vdb_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/vdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/vdb_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/wal/CMakeFiles/vdb_wal.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vdb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/vdb_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

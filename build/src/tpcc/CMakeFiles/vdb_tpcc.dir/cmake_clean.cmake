@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdb_tpcc.dir/consistency.cpp.o"
+  "CMakeFiles/vdb_tpcc.dir/consistency.cpp.o.d"
+  "CMakeFiles/vdb_tpcc.dir/schema.cpp.o"
+  "CMakeFiles/vdb_tpcc.dir/schema.cpp.o.d"
+  "CMakeFiles/vdb_tpcc.dir/tpcc_db.cpp.o"
+  "CMakeFiles/vdb_tpcc.dir/tpcc_db.cpp.o.d"
+  "CMakeFiles/vdb_tpcc.dir/tpcc_driver.cpp.o"
+  "CMakeFiles/vdb_tpcc.dir/tpcc_driver.cpp.o.d"
+  "CMakeFiles/vdb_tpcc.dir/tpcc_loader.cpp.o"
+  "CMakeFiles/vdb_tpcc.dir/tpcc_loader.cpp.o.d"
+  "CMakeFiles/vdb_tpcc.dir/tpcc_random.cpp.o"
+  "CMakeFiles/vdb_tpcc.dir/tpcc_random.cpp.o.d"
+  "CMakeFiles/vdb_tpcc.dir/tpcc_txns.cpp.o"
+  "CMakeFiles/vdb_tpcc.dir/tpcc_txns.cpp.o.d"
+  "libvdb_tpcc.a"
+  "libvdb_tpcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdb_tpcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

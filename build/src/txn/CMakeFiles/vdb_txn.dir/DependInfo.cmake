@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/txn/lock_manager.cpp" "src/txn/CMakeFiles/vdb_txn.dir/lock_manager.cpp.o" "gcc" "src/txn/CMakeFiles/vdb_txn.dir/lock_manager.cpp.o.d"
+  "/root/repo/src/txn/txn_manager.cpp" "src/txn/CMakeFiles/vdb_txn.dir/txn_manager.cpp.o" "gcc" "src/txn/CMakeFiles/vdb_txn.dir/txn_manager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/wal/CMakeFiles/vdb_wal.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vdb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdb_txn.dir/lock_manager.cpp.o"
+  "CMakeFiles/vdb_txn.dir/lock_manager.cpp.o.d"
+  "CMakeFiles/vdb_txn.dir/txn_manager.cpp.o"
+  "CMakeFiles/vdb_txn.dir/txn_manager.cpp.o.d"
+  "libvdb_txn.a"
+  "libvdb_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdb_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wal/archiver.cpp" "src/wal/CMakeFiles/vdb_wal.dir/archiver.cpp.o" "gcc" "src/wal/CMakeFiles/vdb_wal.dir/archiver.cpp.o.d"
+  "/root/repo/src/wal/log_record.cpp" "src/wal/CMakeFiles/vdb_wal.dir/log_record.cpp.o" "gcc" "src/wal/CMakeFiles/vdb_wal.dir/log_record.cpp.o.d"
+  "/root/repo/src/wal/redo_log.cpp" "src/wal/CMakeFiles/vdb_wal.dir/redo_log.cpp.o" "gcc" "src/wal/CMakeFiles/vdb_wal.dir/redo_log.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vdb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

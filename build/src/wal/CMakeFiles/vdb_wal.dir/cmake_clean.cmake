@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdb_wal.dir/archiver.cpp.o"
+  "CMakeFiles/vdb_wal.dir/archiver.cpp.o.d"
+  "CMakeFiles/vdb_wal.dir/log_record.cpp.o"
+  "CMakeFiles/vdb_wal.dir/log_record.cpp.o.d"
+  "CMakeFiles/vdb_wal.dir/redo_log.cpp.o"
+  "CMakeFiles/vdb_wal.dir/redo_log.cpp.o.d"
+  "libvdb_wal.a"
+  "libvdb_wal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdb_wal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

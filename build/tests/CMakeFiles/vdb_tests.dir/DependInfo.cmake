@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/admin_shell_test.cpp" "tests/CMakeFiles/vdb_tests.dir/admin_shell_test.cpp.o" "gcc" "tests/CMakeFiles/vdb_tests.dir/admin_shell_test.cpp.o.d"
+  "/root/repo/tests/btree_test.cpp" "tests/CMakeFiles/vdb_tests.dir/btree_test.cpp.o" "gcc" "tests/CMakeFiles/vdb_tests.dir/btree_test.cpp.o.d"
+  "/root/repo/tests/buffer_cache_test.cpp" "tests/CMakeFiles/vdb_tests.dir/buffer_cache_test.cpp.o" "gcc" "tests/CMakeFiles/vdb_tests.dir/buffer_cache_test.cpp.o.d"
+  "/root/repo/tests/catalog_test.cpp" "tests/CMakeFiles/vdb_tests.dir/catalog_test.cpp.o" "gcc" "tests/CMakeFiles/vdb_tests.dir/catalog_test.cpp.o.d"
+  "/root/repo/tests/checkpoint_snapshot_test.cpp" "tests/CMakeFiles/vdb_tests.dir/checkpoint_snapshot_test.cpp.o" "gcc" "tests/CMakeFiles/vdb_tests.dir/checkpoint_snapshot_test.cpp.o.d"
+  "/root/repo/tests/common_test.cpp" "tests/CMakeFiles/vdb_tests.dir/common_test.cpp.o" "gcc" "tests/CMakeFiles/vdb_tests.dir/common_test.cpp.o.d"
+  "/root/repo/tests/engine_test.cpp" "tests/CMakeFiles/vdb_tests.dir/engine_test.cpp.o" "gcc" "tests/CMakeFiles/vdb_tests.dir/engine_test.cpp.o.d"
+  "/root/repo/tests/experiment_test.cpp" "tests/CMakeFiles/vdb_tests.dir/experiment_test.cpp.o" "gcc" "tests/CMakeFiles/vdb_tests.dir/experiment_test.cpp.o.d"
+  "/root/repo/tests/extended_faults_test.cpp" "tests/CMakeFiles/vdb_tests.dir/extended_faults_test.cpp.o" "gcc" "tests/CMakeFiles/vdb_tests.dir/extended_faults_test.cpp.o.d"
+  "/root/repo/tests/faults_test.cpp" "tests/CMakeFiles/vdb_tests.dir/faults_test.cpp.o" "gcc" "tests/CMakeFiles/vdb_tests.dir/faults_test.cpp.o.d"
+  "/root/repo/tests/latent_experiment_test.cpp" "tests/CMakeFiles/vdb_tests.dir/latent_experiment_test.cpp.o" "gcc" "tests/CMakeFiles/vdb_tests.dir/latent_experiment_test.cpp.o.d"
+  "/root/repo/tests/page_test.cpp" "tests/CMakeFiles/vdb_tests.dir/page_test.cpp.o" "gcc" "tests/CMakeFiles/vdb_tests.dir/page_test.cpp.o.d"
+  "/root/repo/tests/property_misc_test.cpp" "tests/CMakeFiles/vdb_tests.dir/property_misc_test.cpp.o" "gcc" "tests/CMakeFiles/vdb_tests.dir/property_misc_test.cpp.o.d"
+  "/root/repo/tests/recovery_sweep_test.cpp" "tests/CMakeFiles/vdb_tests.dir/recovery_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/vdb_tests.dir/recovery_sweep_test.cpp.o.d"
+  "/root/repo/tests/recovery_test.cpp" "tests/CMakeFiles/vdb_tests.dir/recovery_test.cpp.o" "gcc" "tests/CMakeFiles/vdb_tests.dir/recovery_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/vdb_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/vdb_tests.dir/sim_test.cpp.o.d"
+  "/root/repo/tests/standby_faults_test.cpp" "tests/CMakeFiles/vdb_tests.dir/standby_faults_test.cpp.o" "gcc" "tests/CMakeFiles/vdb_tests.dir/standby_faults_test.cpp.o.d"
+  "/root/repo/tests/standby_test.cpp" "tests/CMakeFiles/vdb_tests.dir/standby_test.cpp.o" "gcc" "tests/CMakeFiles/vdb_tests.dir/standby_test.cpp.o.d"
+  "/root/repo/tests/storage_test.cpp" "tests/CMakeFiles/vdb_tests.dir/storage_test.cpp.o" "gcc" "tests/CMakeFiles/vdb_tests.dir/storage_test.cpp.o.d"
+  "/root/repo/tests/tpcc_test.cpp" "tests/CMakeFiles/vdb_tests.dir/tpcc_test.cpp.o" "gcc" "tests/CMakeFiles/vdb_tests.dir/tpcc_test.cpp.o.d"
+  "/root/repo/tests/txn_test.cpp" "tests/CMakeFiles/vdb_tests.dir/txn_test.cpp.o" "gcc" "tests/CMakeFiles/vdb_tests.dir/txn_test.cpp.o.d"
+  "/root/repo/tests/wal_test.cpp" "tests/CMakeFiles/vdb_tests.dir/wal_test.cpp.o" "gcc" "tests/CMakeFiles/vdb_tests.dir/wal_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/benchmark/CMakeFiles/vdb_benchmark.dir/DependInfo.cmake"
+  "/root/repo/build/src/standby/CMakeFiles/vdb_standby.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpcc/CMakeFiles/vdb_tpcc.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/vdb_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/recovery/CMakeFiles/vdb_recovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/vdb_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/vdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/vdb_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/wal/CMakeFiles/vdb_wal.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vdb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/vdb_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
