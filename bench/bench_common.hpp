@@ -3,15 +3,27 @@
 // Each binary regenerates one table or figure of the paper's §5. Runs use
 // the paper's experimental parameters (20-minute workload, faults injected
 // at 150/300/600 s, fixed detection time). Set VDB_QUICK=1 to shrink runs
-// (shorter duration, one injection instant) while iterating.
+// (shorter duration, one injection instant) while iterating, and VDB_JOBS=N
+// to bound the worker pool (default: all cores).
+//
+// The binaries are written enqueue-then-collect: phase one walks the
+// experiment matrix calling BenchRun::add, phase two collects results in
+// submission order and renders the table. The fan-out happens on
+// ExperimentRunner's thread pool; because collection order equals
+// submission order, the rendered output is byte-identical whatever
+// VDB_JOBS is.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "benchmark/experiment.hpp"
 #include "benchmark/recovery_configs.hpp"
+#include "benchmark/runner.hpp"
 #include "common/table_printer.hpp"
 
 namespace vdb::bench {
@@ -46,19 +58,6 @@ inline faults::FaultSpec make_fault(faults::FaultType type,
   return spec;
 }
 
-/// Runs one experiment, aborting the bench loudly on harness errors.
-inline ExperimentResult run_or_die(const ExperimentOptions& opts,
-                                   const char* label) {
-  Experiment exp(opts);
-  auto result = exp.run();
-  if (!result.is_ok()) {
-    std::fprintf(stderr, "FATAL: experiment '%s' failed: %s\n", label,
-                 result.status().to_string().c_str());
-    std::exit(1);
-  }
-  return std::move(result).value();
-}
-
 /// "317.0s" or ">590s" for runs where service did not return in the window.
 inline std::string recovery_cell(const ExperimentResult& result) {
   if (!result.fault_injected) return "-";
@@ -75,5 +74,161 @@ inline void print_header(const char* what, const char* paper_ref) {
   std::printf("Mode: %s (set VDB_QUICK=1 for a fast pass)\n\n",
               quick_mode() ? "QUICK" : "full (paper parameters)");
 }
+
+namespace detail {
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+inline std::string json_num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace detail
+
+/// Fan-out harness shared by the bench binaries: enqueue the whole matrix,
+/// execute it on the runner's pool, collect in submission order. Also owns
+/// the end-of-bench wall-clock summary and the machine-readable
+/// results/bench_<name>.json used to track the perf trajectory across PRs.
+class BenchRun {
+ public:
+  explicit BenchRun(std::string name) : name_(std::move(name)) {}
+
+  /// Phase one: enqueue an experiment, returning the handle collect uses.
+  std::size_t add(std::string label, ExperimentOptions opts) {
+    VDB_CHECK_MSG(!executed_, "BenchRun::add after execute");
+    queue_.push_back({std::move(label), std::move(opts)});
+    return queue_.size() - 1;
+  }
+
+  /// Runs everything queued; idempotent so collection can trigger it.
+  void execute() {
+    if (executed_) return;
+    executed_ = true;
+    outcomes_ = runner_.run_all(queue_);
+  }
+
+  /// Phase two: the result for `handle`, aborting the bench loudly if the
+  /// *harness* failed (faults under test are reported inside the result).
+  const ExperimentResult& get(std::size_t handle) {
+    execute();
+    VDB_CHECK(handle < outcomes_.size());
+    ExperimentOutcome& outcome = outcomes_[handle];
+    if (!outcome.result.is_ok()) {
+      std::fprintf(stderr, "FATAL: experiment '%s' failed: %s\n",
+                   outcome.label.c_str(),
+                   outcome.result.status().to_string().c_str());
+      std::exit(1);
+    }
+    const ExperimentResult& result = outcome.result.value();
+    for (const std::string& msg : result.integrity_messages) {
+      std::fprintf(stderr, "[integrity] %s\n", msg.c_str());
+    }
+    return result;
+  }
+
+  /// Timing footer + JSON drop. Call once, after the tables are printed.
+  void finish() {
+    execute();
+    const RunnerTiming& t = runner_.last_timing();
+    std::printf("\n--- wall clock ---\n");
+    std::printf("experiments: %zu  jobs: %u (VDB_JOBS)\n", t.experiments,
+                t.jobs);
+    std::printf(
+        "wall %.2fs  serial-equivalent %.2fs  speedup %.2fx  "
+        "slowest run %.2fs\n",
+        t.wall_seconds, t.busy_seconds, t.speedup(),
+        t.max_experiment_seconds);
+    const std::string path = write_json();
+    if (!path.empty()) std::printf("wrote %s\n", path.c_str());
+  }
+
+ private:
+  std::string write_json() {
+    const RunnerTiming& t = runner_.last_timing();
+    std::error_code ec;
+    std::filesystem::create_directories("results", ec);
+    const std::string path = "results/bench_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return {};
+    }
+    using detail::json_escape;
+    using detail::json_num;
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"%s\",\n", json_escape(name_).c_str());
+    std::fprintf(f, "  \"mode\": \"%s\",\n", quick_mode() ? "quick" : "full");
+    std::fprintf(f, "  \"jobs\": %u,\n", t.jobs);
+    std::fprintf(f, "  \"experiments\": %zu,\n", t.experiments);
+    std::fprintf(f, "  \"wall_seconds\": %s,\n",
+                 json_num(t.wall_seconds).c_str());
+    std::fprintf(f, "  \"busy_seconds\": %s,\n",
+                 json_num(t.busy_seconds).c_str());
+    std::fprintf(f, "  \"speedup\": %s,\n", json_num(t.speedup()).c_str());
+    std::fprintf(f, "  \"max_experiment_seconds\": %s,\n",
+                 json_num(t.max_experiment_seconds).c_str());
+    std::fprintf(f, "  \"runs\": [");
+    for (std::size_t i = 0; i < outcomes_.size(); ++i) {
+      const ExperimentOutcome& o = outcomes_[i];
+      std::fprintf(f, "%s\n    {\"label\": \"%s\", \"wall_seconds\": %s, ",
+                   i == 0 ? "" : ",", json_escape(o.label).c_str(),
+                   json_num(o.wall_seconds).c_str());
+      if (!o.result.is_ok()) {
+        std::fprintf(f, "\"ok\": false, \"error\": \"%s\"}",
+                     json_escape(o.result.status().to_string()).c_str());
+        continue;
+      }
+      const ExperimentResult& r = o.result.value();
+      std::fprintf(
+          f,
+          "\"ok\": true, \"tpmc\": %s, \"committed\": %llu, "
+          "\"full_checkpoints\": %llu, \"incremental_checkpoints\": %llu, "
+          "\"redo_bytes\": %llu, \"fault_injected\": %s, \"recovered\": %s, "
+          "\"recovery_seconds\": %s, \"lost_committed\": %llu, "
+          "\"integrity_violations\": %u}",
+          json_num(r.tpmc).c_str(),
+          static_cast<unsigned long long>(r.committed),
+          static_cast<unsigned long long>(r.full_checkpoints),
+          static_cast<unsigned long long>(r.incremental_checkpoints),
+          static_cast<unsigned long long>(r.redo_bytes),
+          r.fault_injected ? "true" : "false",
+          r.recovered ? "true" : "false",
+          json_num(to_seconds(r.recovery_time)).c_str(),
+          static_cast<unsigned long long>(r.lost_committed),
+          r.integrity_violations);
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    return path;
+  }
+
+  std::string name_;
+  ExperimentRunner runner_;
+  std::vector<LabelledExperiment> queue_;
+  std::vector<ExperimentOutcome> outcomes_;
+  bool executed_ = false;
+};
 
 }  // namespace vdb::bench

@@ -18,8 +18,8 @@ using namespace vdb::bench;
 
 namespace {
 
-ExperimentResult run_pair(const RecoveryConfigSpec& config,
-                          std::optional<faults::ExtendedFaultType> latent) {
+ExperimentOptions pair_options(const RecoveryConfigSpec& config,
+                               std::optional<faults::ExtendedFaultType> latent) {
   ExperimentOptions opts = paper_options(config);
   opts.archive_mode = true;
   opts.fault = make_fault(faults::FaultType::kDeleteDatafile,
@@ -31,7 +31,7 @@ ExperimentResult run_pair(const RecoveryConfigSpec& config,
     opts.latent_fault = spec;
     opts.latent_inject_at = 60 * kSecond;
   }
-  return run_or_die(opts, config.name);
+  return opts;
 }
 
 }  // namespace
@@ -55,8 +55,15 @@ int main() {
       {"Backups missing", faults::ExtendedFaultType::kDestroyBackups},
   };
 
+  BenchRun run("extension_twofault");
+  std::vector<std::size_t> handles;
   for (const Arm& arm : arms) {
-    const ExperimentResult result = run_pair(config, arm.latent);
+    handles.push_back(run.add(arm.label, pair_options(config, arm.latent)));
+  }
+
+  std::size_t next = 0;
+  for (const Arm& arm : arms) {
+    const ExperimentResult& result = run.get(handles[next++]);
     table.add_row({arm.label, "Delete datafile",
                    result.recovery_complete ? "complete" : "incomplete",
                    recovery_cell(result),
@@ -71,5 +78,6 @@ int main() {
       "or fails outright — while integrity of whatever IS recovered still\n"
       "holds. This quantifies why the paper calls the recovery-mechanism\n"
       "fault class 'very problematic ... effects are difficult to detect'.\n");
+  run.finish();
   return 0;
 }

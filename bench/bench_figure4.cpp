@@ -18,20 +18,37 @@ int main() {
       "Figure 4: performance and recovery time (basic recovery mechanism)",
       "Vieira & Madeira, DSN 2002, Figure 4 / Section 5.1");
 
+  BenchRun run("figure4");
+  struct ConfigHandles {
+    std::size_t baseline;
+    std::vector<std::size_t> crashes;
+  };
+  std::vector<ConfigHandles> handles;
+  for (const RecoveryConfigSpec& config : table3_configs()) {
+    ConfigHandles h;
+    h.baseline = run.add(config.name, paper_options(config));
+    for (SimDuration at : injection_instants()) {
+      ExperimentOptions faulty = paper_options(config);
+      faulty.fault = make_fault(faults::FaultType::kShutdownAbort, at);
+      h.crashes.push_back(
+          run.add(std::string(config.name) + "+crash", std::move(faulty)));
+    }
+    handles.push_back(std::move(h));
+  }
+
   TablePrinter table({"Config", "tpmC (no fault)", "Recovery time (mean)",
                       "Lost committed", "Integrity violations"});
+  std::size_t next = 0;
   for (const RecoveryConfigSpec& config : table3_configs()) {
-    ExperimentOptions baseline = paper_options(config);
-    const ExperimentResult perf = run_or_die(baseline, config.name);
+    const ConfigHandles& h = handles[next++];
+    const ExperimentResult& perf = run.get(h.baseline);
 
     double recovery_sum = 0;
     std::uint64_t lost = 0;
     std::uint32_t violations = 0;
     int recovered = 0;
-    for (SimDuration at : injection_instants()) {
-      ExperimentOptions faulty = paper_options(config);
-      faulty.fault = make_fault(faults::FaultType::kShutdownAbort, at);
-      const ExperimentResult r = run_or_die(faulty, config.name);
+    for (std::size_t crash : h.crashes) {
+      const ExperimentResult& r = run.get(crash);
       if (r.recovered) {
         recovery_sum += to_seconds(r.recovery_time);
         recovered += 1;
@@ -50,5 +67,6 @@ int main() {
       "\nPaper conclusion reproduced when: lost committed = 0 and integrity\n"
       "violations = 0 for every configuration, and recovery time shrinks\n"
       "with checkpoint rate while tpmC only drops for the smallest files.\n");
+  run.finish();
   return 0;
 }

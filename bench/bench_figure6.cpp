@@ -19,29 +19,46 @@ int main() {
   const SimDuration inject_at =
       quick_mode() ? 150 * kSecond : 600 * kSecond;
 
-  TablePrinter table({"Config", "tpmC archive", "tpmC standby",
-                      "Failover time", "Media recovery (del. datafile)"});
+  BenchRun run("figure6");
+  struct ConfigHandles {
+    std::size_t archive, standby, failover, media;
+  };
+  std::vector<ConfigHandles> handles;
   for (const RecoveryConfigSpec& config : archive_configs()) {
     ExperimentOptions archive = paper_options(config);
     archive.archive_mode = true;
-    const ExperimentResult arch_perf = run_or_die(archive, config.name);
 
     ExperimentOptions standby = paper_options(config);
     standby.with_standby = true;
-    const ExperimentResult sb_perf = run_or_die(standby, config.name);
 
     // Fail over the stand-by on a primary crash at the late instant.
     ExperimentOptions failover = paper_options(config);
     failover.with_standby = true;
     failover.fault = make_fault(faults::FaultType::kShutdownAbort, inject_at);
-    const ExperimentResult sb_rec = run_or_die(failover, config.name);
 
     // The comparison case: archive-only media recovery of a deleted
     // datafile at the same instant.
     ExperimentOptions media = paper_options(config);
     media.archive_mode = true;
     media.fault = make_fault(faults::FaultType::kDeleteDatafile, inject_at);
-    const ExperimentResult media_rec = run_or_die(media, config.name);
+
+    const std::string name = config.name;
+    handles.push_back(
+        {run.add(name + "+archive", std::move(archive)),
+         run.add(name + "+standby", std::move(standby)),
+         run.add(name + "+failover", std::move(failover)),
+         run.add(name + "+media", std::move(media))});
+  }
+
+  TablePrinter table({"Config", "tpmC archive", "tpmC standby",
+                      "Failover time", "Media recovery (del. datafile)"});
+  std::size_t next = 0;
+  for (const RecoveryConfigSpec& config : archive_configs()) {
+    const ConfigHandles& h = handles[next++];
+    const ExperimentResult& arch_perf = run.get(h.archive);
+    const ExperimentResult& sb_perf = run.get(h.standby);
+    const ExperimentResult& sb_rec = run.get(h.failover);
+    const ExperimentResult& media_rec = run.get(h.media);
 
     table.add_row({config.name, TablePrinter::num(arch_perf.tpmc, 0),
                    TablePrinter::num(sb_perf.tpmc, 0),
@@ -52,5 +69,6 @@ int main() {
       "\nPaper conclusion reproduced when: standby tpmC is slightly below\n"
       "archive tpmC (both moderate), and failover time is roughly constant\n"
       "and considerably below the delete-datafile media recovery time.\n");
+  run.finish();
   return 0;
 }

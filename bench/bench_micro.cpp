@@ -7,6 +7,7 @@
 #include "common/rng.hpp"
 #include "index/bplus_tree.hpp"
 #include "sim/host.hpp"
+#include "storage/buffer_cache.hpp"
 #include "storage/page.hpp"
 #include "tests/test_env.hpp"
 #include "tpcc/schema.hpp"
@@ -72,6 +73,72 @@ void BM_BTreeLookup(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BTreeLookup);
+
+/// Backing store that serves pages from memory with zero simulated cost:
+/// isolates the BufferCache bookkeeping (hash lookup, LRU, pin counts) that
+/// every tpcc_txns page access pays.
+class NullPageStore : public storage::PageStore {
+ public:
+  Status load_page(PageId, storage::Page* out, sim::IoMode) override {
+    out->format(TableId{1}, 96);
+    return Status::ok();
+  }
+  Status store_page(PageId, storage::Page&, sim::IoMode, bool) override {
+    return Status::ok();
+  }
+};
+
+void BM_BufferCacheFetchSame(benchmark::State& state) {
+  NullPageStore store;
+  storage::BufferCache cache(&store, 2048, [](Lsn) {});
+  const PageId id{FileId{0}, 7};
+  (void)cache.fetch(id);  // warm
+  for (auto _ : state) {
+    auto ref = cache.fetch(id);
+    benchmark::DoNotOptimize(ref.value().page());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BufferCacheFetchSame);
+
+void BM_BufferCacheFetchSpread(benchmark::State& state) {
+  NullPageStore store;
+  storage::BufferCache cache(&store, 2048, [](Lsn) {});
+  for (std::uint32_t b = 0; b < 1024; ++b) {
+    (void)cache.fetch(PageId{FileId{0}, b});  // warm
+  }
+  std::uint32_t block = 0;
+  for (auto _ : state) {
+    auto ref = cache.fetch(PageId{FileId{0}, block});
+    benchmark::DoNotOptimize(ref.value().page());
+    block = (block + 1) % 1024;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BufferCacheFetchSpread);
+
+void BM_BufferCacheCheckpointSweep(benchmark::State& state) {
+  NullPageStore store;
+  sim::VirtualClock clock;
+  storage::BufferCache cache(&store, 4096, [](Lsn) {});
+  // Resident set of 4096 pages, 256 of them dirty per checkpoint — the
+  // shape of an incremental-checkpoint sweep mid-run.
+  for (std::uint32_t b = 0; b < 4096; ++b) {
+    (void)cache.fetch(PageId{FileId{0}, b});
+  }
+  Rng rng(17);
+  for (auto _ : state) {
+    for (int i = 0; i < 256; ++i) {
+      const PageId id{FileId{0},
+                      static_cast<std::uint32_t>(rng.uniform(0, 4095))};
+      auto ref = cache.fetch(id);
+      cache.mark_dirty(id, clock.now());
+    }
+    benchmark::DoNotOptimize(cache.checkpoint().pages_written);
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_BufferCacheCheckpointSweep);
 
 void BM_LogRecordEncodeDecode(benchmark::State& state) {
   wal::LogRecord rec;

@@ -15,12 +15,18 @@ int main() {
   print_header("Table 3: recovery configurations under test",
                "Vieira & Madeira, DSN 2002, Table 3");
 
+  BenchRun run("table3");
+  std::vector<std::size_t> handles;
+  for (const RecoveryConfigSpec& config : table3_configs()) {
+    handles.push_back(run.add(config.name, paper_options(config)));
+  }
+
   TablePrinter table({"Config", "File Size", "Redo Groups", "Ckpt Timeout",
                       "# CKPT per Experiment", "# Incr. CKPT", "tpmC",
                       "Redo MB"});
+  std::size_t next = 0;
   for (const RecoveryConfigSpec& config : table3_configs()) {
-    ExperimentOptions opts = paper_options(config);
-    const ExperimentResult result = run_or_die(opts, config.name);
+    const ExperimentResult& result = run.get(handles[next++]);
     table.add_row({config.name,
                    std::to_string(config.file_mb) + " MB",
                    std::to_string(config.groups),
@@ -38,5 +44,6 @@ int main() {
       "F400* ~1-2 checkpoints, F1* in the hundreds. The incremental-\n"
       "checkpoint column is the timeout activity behind the paper's fast\n"
       "F400G3T1/F100G3T1 recoveries.\n");
+  run.finish();
   return 0;
 }

@@ -16,7 +16,28 @@ using namespace vdb::bench;
 
 namespace {
 
-void run_fault(faults::FaultType type, const char* title) {
+/// Handles for one fault section: per archive config, per injection instant.
+std::vector<std::vector<std::size_t>> enqueue_fault(BenchRun& run,
+                                                    faults::FaultType type,
+                                                    const char* label) {
+  std::vector<std::vector<std::size_t>> rows;
+  for (const RecoveryConfigSpec& config : archive_configs()) {
+    std::vector<std::size_t> row;
+    for (SimDuration at : injection_instants()) {
+      ExperimentOptions opts = paper_options(config);
+      opts.archive_mode = true;
+      opts.fault = make_fault(type, at);
+      row.push_back(run.add(std::string(config.name) + "+" + label,
+                            std::move(opts)));
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void print_fault(BenchRun& run,
+                 const std::vector<std::vector<std::size_t>>& rows,
+                 const char* title) {
   std::printf("-- %s --\n", title);
   std::vector<std::string> headers{"Config"};
   for (SimDuration at : injection_instants()) {
@@ -28,19 +49,18 @@ void run_fault(faults::FaultType type, const char* title) {
   headers.push_back("Violations");
   TablePrinter table(headers);
 
+  std::size_t next = 0;
   for (const RecoveryConfigSpec& config : archive_configs()) {
     std::vector<std::string> row{config.name};
     std::uint64_t lost = 0;
     std::uint32_t violations = 0;
-    for (SimDuration at : injection_instants()) {
-      ExperimentOptions opts = paper_options(config);
-      opts.archive_mode = true;
-      opts.fault = make_fault(type, at);
-      const ExperimentResult result = run_or_die(opts, config.name);
+    for (std::size_t handle : rows[next]) {
+      const ExperimentResult& result = run.get(handle);
       row.push_back(recovery_cell(result));
       lost += result.lost_committed;
       violations += result.integrity_violations;
     }
+    next += 1;
     row.push_back(std::to_string(lost));
     row.push_back(std::to_string(violations));
     table.add_row(std::move(row));
@@ -54,12 +74,18 @@ void run_fault(faults::FaultType type, const char* title) {
 int main() {
   print_header("Table 4: recovery time, faults with incomplete recovery",
                "Vieira & Madeira, DSN 2002, Table 4 / Section 5.2");
-  run_fault(faults::FaultType::kDeleteUserObject, "Delete user's object");
-  run_fault(faults::FaultType::kDeleteTablespace, "Delete tablespace");
+  BenchRun run("table4");
+  const auto drop_table =
+      enqueue_fault(run, faults::FaultType::kDeleteUserObject, "drop-table");
+  const auto drop_ts =
+      enqueue_fault(run, faults::FaultType::kDeleteTablespace, "drop-ts");
+  print_fault(run, drop_table, "Delete user's object");
+  print_fault(run, drop_ts, "Delete tablespace");
   std::printf(
       "Paper conclusion reproduced when: times grow with the injection\n"
       "instant, 1 MB-file configurations are the slowest (many archive\n"
       "files), committed-transaction loss is small and constant, and no\n"
       "integrity violations occur.\n");
+  run.finish();
   return 0;
 }

@@ -18,7 +18,28 @@ using namespace vdb::bench;
 
 namespace {
 
-void run_fault(faults::FaultType type, const char* title) {
+/// Handles for one fault section: per archive config, per injection instant.
+std::vector<std::vector<std::size_t>> enqueue_fault(BenchRun& run,
+                                                    faults::FaultType type,
+                                                    const char* label) {
+  std::vector<std::vector<std::size_t>> rows;
+  for (const RecoveryConfigSpec& config : archive_configs()) {
+    std::vector<std::size_t> row;
+    for (SimDuration at : injection_instants()) {
+      ExperimentOptions opts = paper_options(config);
+      opts.archive_mode = true;
+      opts.fault = make_fault(type, at);
+      row.push_back(run.add(std::string(config.name) + "+" + label,
+                            std::move(opts)));
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void print_fault(BenchRun& run,
+                 const std::vector<std::vector<std::size_t>>& rows,
+                 const char* title) {
   std::printf("-- %s --\n", title);
   std::vector<std::string> headers{"Config"};
   for (SimDuration at : injection_instants()) {
@@ -30,19 +51,18 @@ void run_fault(faults::FaultType type, const char* title) {
   headers.push_back("Violations");
   TablePrinter table(headers);
 
+  std::size_t next = 0;
   for (const RecoveryConfigSpec& config : archive_configs()) {
     std::vector<std::string> row{config.name};
     std::uint64_t lost = 0;
     std::uint32_t violations = 0;
-    for (SimDuration at : injection_instants()) {
-      ExperimentOptions opts = paper_options(config);
-      opts.archive_mode = true;
-      opts.fault = make_fault(type, at);
-      const ExperimentResult result = run_or_die(opts, config.name);
+    for (std::size_t handle : rows[next]) {
+      const ExperimentResult& result = run.get(handle);
       row.push_back(recovery_cell(result));
       lost += result.lost_committed;
       violations += result.integrity_violations;
     }
+    next += 1;
     row.push_back(std::to_string(lost));
     row.push_back(std::to_string(violations));
     table.add_row(std::move(row));
@@ -56,16 +76,25 @@ void run_fault(faults::FaultType type, const char* title) {
 int main() {
   print_header("Table 5: recovery time, faults with complete recovery",
                "Vieira & Madeira, DSN 2002, Table 5 / Section 5.2");
-  run_fault(faults::FaultType::kShutdownAbort, "Shutdown abort");
-  run_fault(faults::FaultType::kDeleteDatafile, "Delete datafile");
-  run_fault(faults::FaultType::kSetDatafileOffline, "Set datafile offline");
-  run_fault(faults::FaultType::kSetTablespaceOffline,
-            "Set tablespace offline");
+  BenchRun run("table5");
+  const auto crash =
+      enqueue_fault(run, faults::FaultType::kShutdownAbort, "crash");
+  const auto del_file =
+      enqueue_fault(run, faults::FaultType::kDeleteDatafile, "del-datafile");
+  const auto offline_file = enqueue_fault(
+      run, faults::FaultType::kSetDatafileOffline, "offline-datafile");
+  const auto offline_ts = enqueue_fault(
+      run, faults::FaultType::kSetTablespaceOffline, "offline-ts");
+  print_fault(run, crash, "Shutdown abort");
+  print_fault(run, del_file, "Delete datafile");
+  print_fault(run, offline_file, "Set datafile offline");
+  print_fault(run, offline_ts, "Set tablespace offline");
   std::printf(
       "Paper conclusion reproduced when: every cell shows Lost = 0 and\n"
       "Violations = 0 (complete recovery), shutdown-abort times fall with\n"
       "checkpoint rate, delete-datafile times grow with the injection\n"
       "instant and with small archive files, and set-tablespace-offline is\n"
       "always about one second.\n");
+  run.finish();
   return 0;
 }

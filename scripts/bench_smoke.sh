@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Smoke-runs every bench binary in quick mode on a 2-worker pool and checks
+# that each one exits cleanly AND drops its machine-readable JSON into
+# results/. Wired as a ctest entry so tier-1 catches runner regressions
+# (pool wedges, collection-order bugs, missing JSON).
+#
+# Usage: bench_smoke.sh [bench-binary-dir]
+#   bench-binary-dir defaults to ./build/bench relative to the repo root.
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+bench_dir="${1:-$repo_root/build/bench}"
+
+if [ ! -d "$bench_dir" ]; then
+  echo "bench_smoke: no such bench dir: $bench_dir" >&2
+  exit 1
+fi
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+cd "$workdir"
+
+export VDB_QUICK=1
+export VDB_JOBS=2
+
+benches="tables12 table3 figure4 figure5 table4 table5 figure6 figure7 \
+ablation extension_twofault"
+
+failed=0
+for name in $benches; do
+  bin="$bench_dir/bench_$name"
+  if [ ! -x "$bin" ]; then
+    echo "bench_smoke: FAIL bench_$name (binary missing: $bin)"
+    failed=1
+    continue
+  fi
+  echo "bench_smoke: running bench_$name ..."
+  if ! "$bin" > "bench_$name.out" 2>&1; then
+    echo "bench_smoke: FAIL bench_$name (non-zero exit)"
+    tail -20 "bench_$name.out"
+    failed=1
+    continue
+  fi
+  if [ ! -s "results/bench_$name.json" ]; then
+    echo "bench_smoke: FAIL bench_$name (missing results/bench_$name.json)"
+    failed=1
+    continue
+  fi
+  echo "bench_smoke: OK   bench_$name"
+done
+
+# bench_micro is google-benchmark: emit its JSON via the native flag.
+micro="$bench_dir/bench_micro"
+if [ ! -x "$micro" ]; then
+  echo "bench_smoke: FAIL bench_micro (binary missing: $micro)"
+  failed=1
+else
+  echo "bench_smoke: running bench_micro ..."
+  mkdir -p results
+  if ! "$micro" --benchmark_min_time=0.05 \
+      --benchmark_out=results/bench_micro.json \
+      --benchmark_out_format=json > bench_micro.out 2>&1; then
+    echo "bench_smoke: FAIL bench_micro (non-zero exit)"
+    tail -20 bench_micro.out
+    failed=1
+  elif [ ! -s results/bench_micro.json ]; then
+    echo "bench_smoke: FAIL bench_micro (missing results/bench_micro.json)"
+    failed=1
+  else
+    echo "bench_smoke: OK   bench_micro"
+  fi
+fi
+
+if [ "$failed" -ne 0 ]; then
+  echo "bench_smoke: FAILED"
+  exit 1
+fi
+echo "bench_smoke: all bench binaries passed"

@@ -1,6 +1,11 @@
 #include "benchmark/experiment.hpp"
 
+#include <cstdio>
 #include <limits>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "engine/database.hpp"
 #include "recovery/backup.hpp"
@@ -315,9 +320,7 @@ Result<ExperimentResult> Experiment::run() {
     if (!report.is_ok()) return report.status();
     result.integrity_checks = report.value().checks_run;
     result.integrity_violations = report.value().violations;
-    for (const auto& msg : report.value().messages) {
-      std::fprintf(stderr, "[integrity] %s\n", msg.c_str());
-    }
+    result.integrity_messages = report.value().messages;
   }
   return result;
 }

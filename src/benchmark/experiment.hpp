@@ -19,7 +19,10 @@
 //    data.
 #pragma once
 
+#include <cstdint>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "benchmark/recovery_configs.hpp"
 #include "common/status.hpp"
@@ -80,6 +83,9 @@ struct ExperimentResult {
   // Integrity.
   std::uint32_t integrity_checks = 0;
   std::uint32_t integrity_violations = 0;
+  /// Violation details, collected (not printed) so concurrent experiments
+  /// never interleave diagnostics; the bench prints them at collection.
+  std::vector<std::string> integrity_messages;
 
   SimTime workload_start = 0;
   SimTime fault_time = 0;

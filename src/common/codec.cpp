@@ -18,9 +18,17 @@ Result<std::vector<std::uint8_t>> Decoder::get_bytes() {
 }
 
 Result<std::string> Decoder::get_string() {
-  auto bytes = get_bytes();
-  if (!bytes.is_ok()) return bytes.status();
-  return std::string(bytes.value().begin(), bytes.value().end());
+  auto len = get_u32();
+  if (!len.is_ok()) return len.status();
+  if (remaining() < len.value()) {
+    return Status{ErrorCode::kCorruption, "decoder: truncated blob"};
+  }
+  // Build the string straight from the input span — no intermediate
+  // byte-vector copy.
+  std::string out(reinterpret_cast<const char*>(data_.data() + pos_),
+                  len.value());
+  pos_ += len.value();
+  return out;
 }
 
 namespace {

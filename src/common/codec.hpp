@@ -22,6 +22,11 @@ class Encoder {
  public:
   explicit Encoder(std::vector<std::uint8_t>* out) : out_(out) {}
 
+  /// Pre-sizes the output for `n` further bytes. Callers that know the
+  /// payload size (record framing, row codecs) reserve once up front
+  /// instead of growing the vector a field at a time.
+  void reserve(size_t n) { out_->reserve(out_->size() + n); }
+
   void put_u8(std::uint8_t v) { out_->push_back(v); }
   void put_u16(std::uint16_t v) { put_raw(&v, sizeof(v)); }
   void put_u32(std::uint32_t v) { put_raw(&v, sizeof(v)); }

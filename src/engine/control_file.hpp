@@ -7,6 +7,7 @@
 // operator fault.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 

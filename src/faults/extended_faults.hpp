@@ -8,6 +8,7 @@
 //   the paper's proposed follow-up campaign.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "common/status.hpp"

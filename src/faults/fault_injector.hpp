@@ -8,6 +8,7 @@
 // detection time.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "common/status.hpp"

@@ -13,6 +13,7 @@
 // that point — exactly the paper's complete/incomplete split (Tables 4-5).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>

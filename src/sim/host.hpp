@@ -3,6 +3,7 @@
 // stand-by), each with four disks, connected by a network link.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>

@@ -1,8 +1,12 @@
 #include "storage/buffer_cache.hpp"
 
 #include <algorithm>
+#include <cstddef>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
+#include <utility>
+#include <vector>
 
 namespace vdb::storage {
 
@@ -26,15 +30,27 @@ BufferCache::BufferCache(PageStore* store, std::uint32_t capacity,
                          std::function<void(Lsn)> wal_flush)
     : store_(store), capacity_(capacity), wal_flush_(std::move(wal_flush)) {
   VDB_CHECK(capacity_ > 0);
+  // The frame table never outgrows the configured capacity; sizing it up
+  // front removes every rehash from the fetch path.
+  frames_.reserve(capacity_);
 }
 
 Result<PageRef> BufferCache::fetch(PageId id) {
+  if (last_frame_ != nullptr && id == last_id_) {
+    stats_.hits += 1;
+    last_frame_->pins += 1;
+    last_frame_->lru_tick = ++tick_;
+    return PageRef{this, id, &last_frame_->page};
+  }
+
   auto it = frames_.find(id);
   if (it != frames_.end()) {
     stats_.hits += 1;
     Frame& f = *it->second;
     f.pins += 1;
     f.lru_tick = ++tick_;
+    last_id_ = id;
+    last_frame_ = &f;
     return PageRef{this, id, &f.page};
   }
 
@@ -49,9 +65,11 @@ Result<PageRef> BufferCache::fetch(PageId id) {
   if (!st.is_ok()) return st;
   frame->pins = 1;
   frame->lru_tick = ++tick_;
-  Page* page = &frame->page;
+  Frame* raw = frame.get();
   frames_[id] = std::move(frame);
-  return PageRef{this, id, page};
+  last_id_ = id;
+  last_frame_ = raw;
+  return PageRef{this, id, &raw->page};
 }
 
 void BufferCache::mark_dirty(PageId id, SimTime now) {
@@ -63,32 +81,73 @@ void BufferCache::mark_dirty(PageId id, SimTime now) {
     frame.dirty = true;
     frame.dirty_since = now;
     frame.rec_lsn = frame.page.lsn();
+    dirty_fresh_.push_back(id);
   }
+}
+
+void BufferCache::merge_dirty_runs() {
+  if (!dirty_fresh_.empty()) {
+    std::sort(dirty_fresh_.begin(), dirty_fresh_.end());
+    const auto mid = static_cast<std::ptrdiff_t>(dirty_sorted_.size());
+    dirty_sorted_.insert(dirty_sorted_.end(), dirty_fresh_.begin(),
+                         dirty_fresh_.end());
+    std::inplace_merge(dirty_sorted_.begin(), dirty_sorted_.begin() + mid,
+                       dirty_sorted_.end());
+    dirty_fresh_.clear();
+  }
+  // Drop stale entries (pages cleaned by eviction or discarded) and the
+  // duplicate left when a dirty page was evicted, refetched, and dirtied
+  // again.
+  std::size_t out = 0;
+  PageId prev = PageId::invalid();
+  for (PageId id : dirty_sorted_) {
+    if (id == prev) continue;
+    auto it = frames_.find(id);
+    if (it == frames_.end() || !it->second->dirty) continue;
+    dirty_sorted_[out++] = id;
+    prev = id;
+  }
+  dirty_sorted_.resize(out);
 }
 
 CheckpointResult BufferCache::flush_aged(SimTime older_than) {
   CheckpointResult result;
-  for (auto& [id, frame] : frames_) {
-    if (!frame->dirty || frame->dirty_since > older_than) continue;
-    wal_flush_(frame->page.lsn());
-    Status st = store_->store_page(id, frame->page, sim::IoMode::kBackground,
+  merge_dirty_runs();
+  std::size_t still_dirty = 0;
+  for (PageId id : dirty_sorted_) {
+    Frame& frame = *frames_.find(id)->second;
+    if (frame.dirty_since > older_than) {
+      dirty_sorted_[still_dirty++] = id;
+      continue;
+    }
+    wal_flush_(frame.page.lsn());
+    Status st = store_->store_page(id, frame.page, sim::IoMode::kBackground,
                                    /*batched=*/true);
     if (st.is_ok()) {
-      frame->dirty = false;
+      frame.dirty = false;
       result.pages_written += 1;
       stats_.dirty_writes += 1;
     } else {
       result.failures.emplace_back(id, st);
+      dirty_sorted_[still_dirty++] = id;
     }
   }
+  dirty_sorted_.resize(still_dirty);
   return result;
 }
 
 Lsn BufferCache::min_dirty_rec_lsn() const {
   Lsn min_lsn = kInvalidLsn;
-  for (const auto& [id, frame] : frames_) {
-    if (frame->dirty) min_lsn = std::min(min_lsn, frame->rec_lsn);
-  }
+  auto scan = [&](const std::vector<PageId>& run) {
+    for (PageId id : run) {
+      auto it = frames_.find(id);
+      if (it != frames_.end() && it->second->dirty) {
+        min_lsn = std::min(min_lsn, it->second->rec_lsn);
+      }
+    }
+  };
+  scan(dirty_sorted_);
+  scan(dirty_fresh_);
   return min_lsn;
 }
 
@@ -120,6 +179,10 @@ Status BufferCache::evict_one() {
     if (st.is_ok()) stats_.dirty_writes += 1;
   }
   stats_.evictions += 1;
+  if (victim == last_frame_) {
+    last_frame_ = nullptr;
+    last_id_ = PageId::invalid();
+  }
   frames_.erase(victim->id);
   return Status::ok();
 }
@@ -127,45 +190,57 @@ Status BufferCache::evict_one() {
 CheckpointResult BufferCache::checkpoint() {
   CheckpointResult result;
   stats_.checkpoints += 1;
+  merge_dirty_runs();
 
   // Flush the log once past the newest dirty page.
   Lsn max_lsn = 0;
-  for (auto& [id, frame] : frames_) {
-    if (frame->dirty) max_lsn = std::max(max_lsn, frame->page.lsn());
+  for (PageId id : dirty_sorted_) {
+    max_lsn = std::max(max_lsn, frames_.find(id)->second->page.lsn());
   }
   if (max_lsn > 0) wal_flush_(max_lsn);
 
-  for (auto& [id, frame] : frames_) {
-    if (!frame->dirty) continue;
-    Status st = store_->store_page(id, frame->page, sim::IoMode::kBackground,
+  std::size_t still_dirty = 0;
+  for (PageId id : dirty_sorted_) {
+    Frame& frame = *frames_.find(id)->second;
+    Status st = store_->store_page(id, frame.page, sim::IoMode::kBackground,
                                    /*batched=*/true);
     if (st.is_ok()) {
-      frame->dirty = false;
+      frame.dirty = false;
       result.pages_written += 1;
       stats_.dirty_writes += 1;
       stats_.checkpoint_pages += 1;
     } else {
       result.failures.emplace_back(id, st);
+      dirty_sorted_[still_dirty++] = id;
     }
   }
+  dirty_sorted_.resize(still_dirty);
   return result;
 }
 
 CheckpointResult BufferCache::flush_file(FileId file) {
   CheckpointResult result;
-  for (auto& [id, frame] : frames_) {
-    if (id.file != file || !frame->dirty) continue;
-    wal_flush_(frame->page.lsn());
-    Status st = store_->store_page(id, frame->page, sim::IoMode::kBackground,
+  merge_dirty_runs();
+  std::size_t still_dirty = 0;
+  for (PageId id : dirty_sorted_) {
+    Frame& frame = *frames_.find(id)->second;
+    if (id.file != file) {
+      dirty_sorted_[still_dirty++] = id;
+      continue;
+    }
+    wal_flush_(frame.page.lsn());
+    Status st = store_->store_page(id, frame.page, sim::IoMode::kBackground,
                                    /*batched=*/true);
     if (st.is_ok()) {
-      frame->dirty = false;
+      frame.dirty = false;
       result.pages_written += 1;
       stats_.dirty_writes += 1;
     } else {
       result.failures.emplace_back(id, st);
+      dirty_sorted_[still_dirty++] = id;
     }
   }
+  dirty_sorted_.resize(still_dirty);
   return result;
 }
 
@@ -178,6 +253,8 @@ void BufferCache::discard_file(FileId file) {
       ++it;
     }
   }
+  last_frame_ = nullptr;
+  last_id_ = PageId::invalid();
 }
 
 void BufferCache::discard_all() {
@@ -185,6 +262,10 @@ void BufferCache::discard_all() {
     VDB_CHECK_MSG(frame->pins == 0, "discarding pinned page");
   }
   frames_.clear();
+  last_frame_ = nullptr;
+  last_id_ = PageId::invalid();
+  dirty_sorted_.clear();
+  dirty_fresh_.clear();
 }
 
 std::uint64_t BufferCache::dirty_count() const {

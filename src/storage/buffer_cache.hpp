@@ -146,6 +146,9 @@ class BufferCache {
   /// Frees one frame, writing it out first if dirty. Fails if everything is
   /// pinned.
   Status evict_one();
+  /// Folds pages dirtied since the last sweep into `dirty_sorted_` and
+  /// drops stale entries, leaving the exact dirty set in PageId order.
+  void merge_dirty_runs();
 
   PageStore* store_;
   std::uint32_t capacity_;
@@ -153,6 +156,19 @@ class BufferCache {
   std::function<void(Lsn)> wal_flush_;
   std::uint64_t tick_{0};
   std::unordered_map<PageId, std::unique_ptr<Frame>> frames_;
+  /// One-entry fast path for fetch: TPC-C touches the same page in short
+  /// bursts (row read → update → index maintenance), so remembering the
+  /// last frame skips the hash lookup on the hottest call in the system.
+  PageId last_id_{PageId::invalid()};
+  Frame* last_frame_ = nullptr;
+  /// Dirty-page bookkeeping for checkpoint sweeps. `dirty_sorted_` is the
+  /// sorted run surviving the previous sweep; `dirty_fresh_` collects pages
+  /// dirtied since. Sweeps sort only the fresh run and merge — reusing the
+  /// sorted run instead of re-sorting the whole dirty list, and iterating
+  /// the dirty set instead of every frame. Entries may go stale (a dirty
+  /// page evicted or discarded); merge_dirty_runs drops them lazily.
+  std::vector<PageId> dirty_sorted_;
+  std::vector<PageId> dirty_fresh_;
   CacheStats stats_;
 };
 

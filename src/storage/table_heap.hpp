@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 #include <set>
+#include <span>
 #include <vector>
 
 #include "common/status.hpp"

@@ -7,6 +7,7 @@
 // finding: none of the injected operator faults caused one).
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 

@@ -8,7 +8,9 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "common/codec.hpp"
 #include "common/status.hpp"

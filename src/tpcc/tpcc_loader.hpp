@@ -5,6 +5,9 @@
 // as the paper's experimental procedure requires.
 #pragma once
 
+#include <cstdint>
+#include <string>
+
 #include "common/rng.hpp"
 #include "common/status.hpp"
 #include "tpcc/tpcc_db.hpp"

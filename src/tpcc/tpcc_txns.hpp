@@ -8,6 +8,8 @@
 // statuses the driver uses to detect fault activation.
 #pragma once
 
+#include <cstdint>
+
 #include "common/status.hpp"
 #include "tpcc/tpcc_db.hpp"
 #include "tpcc/tpcc_random.hpp"

@@ -25,6 +25,8 @@ namespace {
 // redo stream — and therefore archive-log memory footprints across hundreds
 // of simulated experiments — compact without losing full-image semantics.
 void encode_dml(Encoder& enc, const DmlChange& dml) {
+  // Fixed header + four length-prefixed blobs; the images bound the total.
+  enc.reserve(46 + dml.before.size() + dml.after.size());
   enc.put_u32(dml.table.value);
   enc.put_u32(dml.rid.page.file.value);
   enc.put_u32(dml.rid.page.block);
@@ -275,6 +277,7 @@ std::uint64_t frame_record(const LogRecord& rec,
 
   const std::uint64_t before = out->size();
   Encoder frame(out);
+  frame.reserve(8 + payload.size());
   frame.put_u32(static_cast<std::uint32_t>(payload.size()));
   frame.put_u32(crc32c(payload));
   out->insert(out->end(), payload.begin(), payload.end());

@@ -19,7 +19,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <vector>
 #include <functional>
 #include <string>
 #include <vector>
