@@ -1,11 +1,10 @@
 #include "benchmark/runner.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
-#include <cstdlib>
 #include <optional>
-#include <thread>
+
+#include "common/parallel.hpp"
 
 namespace vdb::bench {
 
@@ -19,15 +18,7 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
 
 }  // namespace
 
-unsigned ExperimentRunner::default_jobs() {
-  if (const char* env = std::getenv("VDB_JOBS")) {
-    const long parsed = std::strtol(env, nullptr, 10);
-    if (parsed >= 1) return static_cast<unsigned>(parsed);
-    return 1;  // malformed or <= 0: be conservative, stay serial
-  }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw > 0 ? hw : 1;
-}
+unsigned ExperimentRunner::default_jobs() { return vdb::default_jobs(); }
 
 ExperimentRunner::ExperimentRunner(unsigned jobs)
     : jobs_(jobs > 0 ? jobs : default_jobs()) {}
@@ -36,37 +27,22 @@ std::vector<ExperimentOutcome> ExperimentRunner::run_all(
     const std::vector<LabelledExperiment>& batch) {
   const std::size_t n = batch.size();
   // Slots are written once each by exactly one worker, so the vector needs
-  // no lock — only the queue cursor is shared.
+  // no lock — only parallel_for's queue cursor is shared.
   std::vector<std::optional<ExperimentOutcome>> slots(n);
-  std::atomic<std::size_t> cursor{0};
 
   const auto batch_start = std::chrono::steady_clock::now();
-  auto worker = [&] {
-    for (;;) {
-      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) return;
-      const auto start = std::chrono::steady_clock::now();
-      Experiment exp(batch[i].options);
-      Result<ExperimentResult> result = exp.run();
-      slots[i].emplace(ExperimentOutcome{batch[i].label, std::move(result),
-                                         seconds_since(start)});
-    }
-  };
-
-  const unsigned workers =
-      static_cast<unsigned>(std::min<std::size_t>(jobs_, n > 0 ? n : 1));
-  if (workers <= 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker);
-    for (std::thread& t : pool) t.join();
-  }
+  parallel_for(n, jobs_, [&](std::size_t i) {
+    const auto start = std::chrono::steady_clock::now();
+    Experiment exp(batch[i].options);
+    Result<ExperimentResult> result = exp.run();
+    slots[i].emplace(ExperimentOutcome{batch[i].label, std::move(result),
+                                       seconds_since(start)});
+  });
 
   timing_ = RunnerTiming{};
   timing_.experiments = n;
-  timing_.jobs = workers;
+  timing_.jobs =
+      static_cast<unsigned>(std::min<std::size_t>(jobs_, n > 0 ? n : 1));
   timing_.wall_seconds = seconds_since(batch_start);
 
   std::vector<ExperimentOutcome> out;

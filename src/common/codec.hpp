@@ -70,6 +70,21 @@ class Decoder {
   Result<std::vector<std::uint8_t>> get_bytes();
   Result<std::string> get_string();
 
+  /// Zero-copy variant of get_bytes: returns a span into the underlying
+  /// buffer instead of materializing a vector. The view is only valid while
+  /// the decoded buffer outlives it — callers that retain the data past the
+  /// buffer's lifetime must copy (see get_bytes).
+  Result<std::span<const std::uint8_t>> get_view() {
+    auto len = get_u32();
+    if (!len.is_ok()) return len.status();
+    if (remaining() < len.value()) {
+      return Status{ErrorCode::kCorruption, "decoder: truncated bytes"};
+    }
+    std::span<const std::uint8_t> view = data_.subspan(pos_, len.value());
+    pos_ += len.value();
+    return view;
+  }
+
   size_t remaining() const { return data_.size() - pos_; }
   bool done() const { return pos_ == data_.size(); }
 

@@ -1,0 +1,48 @@
+#include "common/parallel.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+namespace vdb {
+
+unsigned default_jobs() {
+  if (const char* env = std::getenv("VDB_JOBS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed >= 1) return static_cast<unsigned>(parsed);
+    return 1;  // malformed or <= 0: be conservative, stay serial
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+unsigned resolve_jobs(unsigned jobs) {
+  return jobs > 0 ? jobs : default_jobs();
+}
+
+void parallel_for(std::size_t n, unsigned jobs,
+                  const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  const unsigned workers = static_cast<unsigned>(
+      std::min<std::size_t>(resolve_jobs(jobs), n));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> cursor{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      fn(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+}
+
+}  // namespace vdb

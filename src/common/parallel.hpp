@@ -1,0 +1,33 @@
+// Shared bounded-worker parallelism primitive.
+//
+// Both the benchmark harness (fanning independent experiments across a
+// pool) and the engine's recovery replay (applying disjoint page partitions
+// concurrently) need the same thing: run fn(0..n) on up to `jobs` threads,
+// block until done, never reorder observable results. Workers claim indexes
+// from an atomic cursor, so the only cross-thread state is the cursor —
+// callers guarantee fn is safe for distinct indexes.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace vdb {
+
+/// VDB_JOBS if set (clamped to >= 1), else hardware_concurrency. The single
+/// knob controlling every thread pool in the system: the experiment matrix
+/// fan-out and the in-engine parallel redo apply.
+unsigned default_jobs();
+
+/// 0 resolves to default_jobs(), anything else passes through.
+unsigned resolve_jobs(unsigned jobs);
+
+/// Invokes fn(i) for every i in [0, n), using up to `jobs` worker threads
+/// (jobs == 0 resolves via default_jobs()). Runs inline on the calling
+/// thread when jobs or n is <= 1, so serial configurations pay no thread
+/// overhead and behave identically to a plain loop. Blocks until every
+/// index completed. fn must tolerate concurrent invocation for distinct
+/// indexes; exceptions must not escape fn.
+void parallel_for(std::size_t n, unsigned jobs,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace vdb

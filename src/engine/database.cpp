@@ -421,7 +421,9 @@ Result<Lsn> Database::commit(TxnId txn) {
   // taken during the flush below (log-switch checkpoints) must not snapshot
   // it as active.
   VDB_RETURN_IF_ERROR(txns_.mark_end_logged(txn));
-  VDB_RETURN_IF_ERROR(redo_->flush());  // commit forces LGWR
+  // Group commit: piggybacks on an already-durable or in-flight flush when
+  // possible; otherwise the LGWR batch carries every co-buffered commit.
+  VDB_RETURN_IF_ERROR(redo_->commit_flush(lsn));
 
   VDB_RETURN_IF_ERROR(txns_.mark_committed(txn, lsn));
   locks_.release_all(txn);
@@ -850,6 +852,18 @@ Status Database::apply_record(const wal::LogRecord& rec) {
   return make_error(ErrorCode::kInternal, "unhandled record type");
 }
 
+RedoApplyPlan Database::make_replay_plan(
+    std::function<void(Lsn, const Status&)> on_skip) {
+  RedoApplyPlan::Hooks hooks;
+  hooks.storage = storage_.get();
+  hooks.serial_apply = [this](const wal::LogRecord& rec) {
+    return apply_record(rec);
+  };
+  hooks.on_skip = std::move(on_skip);
+  hooks.jobs = cfg_.replay_jobs;
+  return RedoApplyPlan(std::move(hooks));
+}
+
 Result<Lsn> Database::instance_recovery() {
   set_recovering(true);
 
@@ -869,6 +883,18 @@ Result<Lsn> Database::instance_recovery() {
   std::uint64_t records = 0;
   std::uint64_t skipped = 0;
   Status inner = Status::ok();
+
+  // Two-phase replay: the scan below does the serial bookkeeping (loser
+  // tracking, clock charges) and stages page records; the plan applies them
+  // partitioned by page across workers at each drain point.
+  RedoApplyPlan plan = make_replay_plan([&](Lsn lsn, const Status& st) {
+    skipped += 1;
+    if (skipped <= 8) {
+      std::fprintf(stderr, "[instance-recovery] skipped record lsn=%llu: %s\n",
+                   static_cast<unsigned long long>(lsn),
+                   st.to_string().c_str());
+    }
+  });
 
   Status read_st = redo_->read_online(start, [&](const wal::LogRecord& rec) {
     records += 1;
@@ -895,24 +921,7 @@ Result<Lsn> Database::instance_recovery() {
       case wal::LogRecordType::kInsert:
       case wal::LogRecordType::kUpdate:
       case wal::LogRecordType::kDelete: {
-        Status st = apply_record(rec);
-        if (!st.is_ok()) {
-          // Records touching deleted/offline files are skipped; media
-          // recovery brings those files forward later.
-          if (st.code() != ErrorCode::kMediaFailure &&
-              st.code() != ErrorCode::kOffline &&
-              st.code() != ErrorCode::kNotFound) {
-            inner = st;
-            return false;
-          }
-          skipped += 1;
-          if (skipped <= 8) {
-            std::fprintf(stderr,
-                         "[instance-recovery] skipped record lsn=%llu: %s\n",
-                         static_cast<unsigned long long>(rec.lsn),
-                         st.to_string().c_str());
-          }
-        }
+        plan.stage(rec);
         if (rec.is_clr) {
           live[rec.txn.value].clrs += 1;
         } else {
@@ -921,7 +930,17 @@ Result<Lsn> Database::instance_recovery() {
         }
         break;
       }
+      case wal::LogRecordType::kFormatPage:
+        plan.stage(rec);
+        break;
       default: {
+        // DDL: a serial barrier — staged changes on the affected objects
+        // must land before the catalog/tablespace operation runs.
+        auto stats = plan.drain();
+        if (!stats.is_ok()) {
+          inner = stats.status();
+          return false;
+        }
         Status st = apply_record(rec);
         if (!st.is_ok() && st.code() != ErrorCode::kMediaFailure &&
             st.code() != ErrorCode::kOffline &&
@@ -934,6 +953,10 @@ Result<Lsn> Database::instance_recovery() {
     }
     return true;
   });
+  if (read_st.is_ok() && inner.is_ok()) {
+    auto stats = plan.drain();
+    if (!stats.is_ok()) inner = stats.status();
+  }
   if (!read_st.is_ok()) {
     set_recovering(false);
     return read_st;

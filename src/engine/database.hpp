@@ -29,6 +29,7 @@
 #include "common/types.hpp"
 #include "engine/control_file.hpp"
 #include "engine/db_config.hpp"
+#include "engine/replay_plan.hpp"
 #include "sim/host.hpp"
 #include "sim/scheduler.hpp"
 #include "storage/storage_manager.hpp"
@@ -183,6 +184,16 @@ class Database {
   /// are applied idempotently. Used by instance recovery, media recovery,
   /// and the stand-by's managed recovery.
   Status apply_record(const wal::LogRecord& rec);
+
+  /// Builds a partitioned apply plan wired to this instance — the shared
+  /// phase-two engine for every replay driver (instance recovery, media
+  /// recovery, standby managed recovery). The driver scans the redo stream
+  /// serially, stages records the plan wants(), drains at serial barriers
+  /// (DDL) and at end of scan. `on_skip` fires for records skipped on
+  /// missing/offline datafiles. Worker count comes from
+  /// DatabaseConfig::replay_jobs (0 = VDB_JOBS).
+  RedoApplyPlan make_replay_plan(
+      std::function<void(Lsn, const Status&)> on_skip = nullptr);
 
   /// Rebuilds table heaps (and fires the rebuild hook) by scanning every
   /// online datafile once.

@@ -51,6 +51,11 @@ struct DatabaseConfig {
   storage::StorageParams storage;
   txn::RollbackSegmentConfig rollback;
   CostModel cost;
+  /// Worker threads for the partitioned redo apply during replay
+  /// (instance/media/standby recovery). 0 honors VDB_JOBS, falling back to
+  /// the host's core count. Results are byte-identical at any setting; only
+  /// wall-clock time changes.
+  unsigned replay_jobs = 0;
 };
 
 }  // namespace vdb::engine

@@ -1,0 +1,173 @@
+#include "engine/replay_plan.hpp"
+
+#include <algorithm>
+
+#include "common/parallel.hpp"
+
+namespace vdb::engine {
+
+namespace {
+
+bool skippable(ErrorCode code) {
+  // Records touching deleted/offline files are skipped; media recovery
+  // brings those files forward later (same set every replay driver uses).
+  return code == ErrorCode::kMediaFailure || code == ErrorCode::kOffline ||
+         code == ErrorCode::kNotFound;
+}
+
+}  // namespace
+
+bool RedoApplyPlan::wants(wal::LogRecordType type) {
+  switch (type) {
+    case wal::LogRecordType::kInsert:
+    case wal::LogRecordType::kUpdate:
+    case wal::LogRecordType::kDelete:
+    case wal::LogRecordType::kFormatPage:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void RedoApplyPlan::stage(const wal::LogRecord& rec) {
+  VDB_CHECK_MSG(wants(rec.type), "staging non-partitionable record");
+  const std::size_t idx = staged_count_;
+  if (idx < records_.size()) {
+    records_[idx] = rec;  // copy-assign reuses the pooled entry's capacity
+  } else {
+    records_.push_back(rec);
+  }
+  staged_count_ += 1;
+
+  const PageId page = rec.type == wal::LogRecordType::kFormatPage
+                          ? rec.page
+                          : rec.dml.rid.page;
+  auto [it, inserted] = page_index_.try_emplace(page, runs_.size());
+  if (inserted) {
+    Run run;
+    run.page = page;
+    runs_.push_back(std::move(run));
+  }
+  Run& run = runs_[it->second];
+  run.items.push_back(idx);
+  if (rec.type == wal::LogRecordType::kFormatPage) run.has_format = true;
+}
+
+Status RedoApplyPlan::apply_serially(Run& run, Stats* stats) {
+  run.handled_serially = true;
+  for (std::size_t idx : run.items) {
+    const wal::LogRecord& rec = records_[idx];
+    Status st = hooks_.serial_apply(rec);
+    if (st.is_ok()) {
+      stats->applied += 1;
+      continue;
+    }
+    if (!skippable(st.code())) return st;
+    stats->skipped += 1;
+    if (hooks_.on_skip) hooks_.on_skip(rec.lsn, st);
+  }
+  return Status::ok();
+}
+
+Status RedoApplyPlan::prepare_run(Run& run, Stats* stats) {
+  // Runs containing a format record rebuild the page through the engine
+  // (allocation high-water marks, file extension); runs on pages a
+  // NOLOGGING table formatted need the engine's implicit-format fallback.
+  // Both take the exact serial code path so semantics cannot drift.
+  if (run.has_format) return apply_serially(run, stats);
+
+  auto ref = hooks_.storage->fetch(run.page);
+  if (!ref.is_ok()) {
+    if (!skippable(ref.code())) return ref.status();
+    run.skipped = true;
+    for (std::size_t idx : run.items) {
+      stats->skipped += 1;
+      if (hooks_.on_skip) hooks_.on_skip(records_[idx].lsn, ref.status());
+    }
+    return Status::ok();
+  }
+  if (!ref.value()->formatted()) return apply_serially(run, stats);
+  run.ref = std::move(ref).value();
+  return Status::ok();
+}
+
+void RedoApplyPlan::apply_run(Run& run) const {
+  storage::Page* page = run.ref.page();
+  for (std::size_t idx : run.items) {
+    const wal::LogRecord& rec = records_[idx];
+    // Guard-skipped records (change already on the page) count as applied,
+    // matching the serial path where apply_record returns ok for them.
+    run.applied += 1;
+    if (rec.lsn <= page->lsn()) continue;
+    switch (rec.type) {
+      case wal::LogRecordType::kInsert:
+      case wal::LogRecordType::kUpdate:
+        page->set_slot(rec.dml.rid.slot, rec.dml.after);
+        break;
+      case wal::LogRecordType::kDelete:
+        page->clear_slot(rec.dml.rid.slot);
+        break;
+      default:
+        break;  // unreachable: format runs were handled serially
+    }
+    page->set_lsn(rec.lsn);
+    if (run.first_applied == kInvalidLsn) run.first_applied = rec.lsn;
+  }
+}
+
+Result<RedoApplyPlan::Stats> RedoApplyPlan::drain() {
+  Stats stats;
+  if (staged_count_ == 0) return stats;
+
+  // Runs are processed in chunks small enough that every chunk's pages fit
+  // pinned in the cache with room to spare (the serial-apply path inside
+  // prepare fetches pages of its own). Chunk boundaries depend only on the
+  // staged record set, never on the worker count.
+  const std::uint32_t cache_cap = hooks_.storage->cache().capacity();
+  const std::size_t max_pins =
+      std::max<std::size_t>(1, std::min<std::size_t>(cache_cap / 2, 512));
+
+  Status failure = Status::ok();
+  for (std::size_t begin = 0; begin < runs_.size() && failure.is_ok();
+       begin += max_pins) {
+    const std::size_t end = std::min(runs_.size(), begin + max_pins);
+
+    // Serial prepare: pin pages, route special runs through the engine.
+    std::vector<std::size_t> parallel_runs;
+    parallel_runs.reserve(end - begin);
+    for (std::size_t r = begin; r < end; ++r) {
+      failure = prepare_run(runs_[r], &stats);
+      if (!failure.is_ok()) break;
+      if (runs_[r].ref.valid()) parallel_runs.push_back(r);
+    }
+
+    // Parallel apply: disjoint pinned pages, in-memory writes only.
+    parallel_for(parallel_runs.size(), hooks_.jobs,
+                 [&](std::size_t i) { apply_run(runs_[parallel_runs[i]]); });
+
+    // Serial finalize: dirty-mark with the first applied LSN (a checkpoint
+    // taken mid-recovery must know how far back this page's changes reach),
+    // release pins, and fold stats in deterministic run order.
+    for (std::size_t r = begin; r < end; ++r) {
+      Run& run = runs_[r];
+      if (!run.ref.valid()) continue;
+      if (run.first_applied != kInvalidLsn) {
+        hooks_.storage->mark_dirty(run.page, run.first_applied);
+      }
+      stats.applied += run.applied;
+      run.ref = storage::PageRef{};
+    }
+  }
+
+  // Reset for the next cycle. Record entries keep their capacity; run and
+  // index containers are per-page (far fewer than per-record) so plain
+  // clears are cheap.
+  staged_count_ = 0;
+  runs_.clear();
+  page_index_.clear();
+
+  if (!failure.is_ok()) return failure;
+  return stats;
+}
+
+}  // namespace vdb::engine

@@ -1,0 +1,95 @@
+// Partitioned redo apply plan: the shared second phase of every replay
+// driver (instance recovery, media recovery, standby managed recovery).
+//
+// Replay is two-phase. Phase one — the driver's scan — walks the redo
+// stream in LSN order doing the bookkeeping only a serial pass can do
+// (loser-transaction tracking, stop-before positions, simulated-clock
+// charges) and stages every page-targeted record here. Phase two — drain()
+// — groups the staged records into per-page runs and applies the runs on a
+// worker pool (honoring VDB_JOBS via common/parallel): runs touch disjoint
+// pages, and within a run records apply in LSN order, so the result is
+// byte-identical to the serial pass at any job count.
+//
+// Runs that need engine machinery — page-format records, pages formatted by
+// a NOLOGGING table (no format record exists) — are applied serially
+// through the driver-supplied apply callback during the prepare step; the
+// parallel phase touches only pinned, formatted pages with pure in-memory
+// slot writes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "storage/storage_manager.hpp"
+#include "wal/log_record.hpp"
+
+namespace vdb::engine {
+
+class RedoApplyPlan {
+ public:
+  struct Stats {
+    std::uint64_t applied = 0;
+    std::uint64_t skipped = 0;  // records on missing/offline files
+  };
+
+  struct Hooks {
+    storage::StorageManager* storage = nullptr;
+    /// Full engine-level apply (Database::apply_record): used for format
+    /// records and runs whose page the fast path cannot handle.
+    std::function<Status(const wal::LogRecord&)> serial_apply;
+    /// Invoked (serially, in staging order per page) for every record
+    /// skipped because its datafile is gone or offline. Optional.
+    std::function<void(Lsn, const Status&)> on_skip;
+    /// Worker count for the apply phase; 0 honors VDB_JOBS.
+    unsigned jobs = 0;
+  };
+
+  explicit RedoApplyPlan(Hooks hooks) : hooks_(std::move(hooks)) {}
+
+  /// True for record types the plan partitions (DML + page format). The
+  /// driver applies everything else itself — DDL and checkpoint records are
+  /// serial barriers: drain() first, then apply the record.
+  static bool wants(wal::LogRecordType type);
+
+  /// Copies `rec` into the plan (safe with parse_records' reused scratch
+  /// record). Must only be called with wants(rec.type) true.
+  void stage(const wal::LogRecord& rec);
+
+  std::size_t staged() const { return staged_count_; }
+  bool empty() const { return staged_count_ == 0; }
+
+  /// Applies every staged record and resets the plan. Record buffers are
+  /// pooled across drain cycles, so steady-state staging does not allocate.
+  Result<Stats> drain();
+
+ private:
+  struct Run {
+    PageId page{PageId::invalid()};
+    std::vector<std::size_t> items;  // indices into records_, LSN order
+    bool has_format = false;
+    // Filled during prepare/apply:
+    storage::PageRef ref;
+    bool handled_serially = false;
+    bool skipped = false;
+    Lsn first_applied = kInvalidLsn;
+    std::uint64_t applied = 0;
+  };
+
+  Status prepare_run(Run& run, Stats* stats);
+  Status apply_serially(Run& run, Stats* stats);
+  void apply_run(Run& run) const;
+
+  Hooks hooks_;
+  /// Pooled record copies: staged_count_ live entries, the rest retain
+  /// their heap capacity for the next cycle.
+  std::vector<wal::LogRecord> records_;
+  std::size_t staged_count_ = 0;
+  std::vector<Run> runs_;  // first-touch (LSN) order — deterministic
+  std::unordered_map<PageId, std::size_t> page_index_;
+};
+
+}  // namespace vdb::engine

@@ -128,11 +128,32 @@ Result<RecoveryReport> RecoveryManager::replay_from(
   Status inner = Status::ok();
   std::uint64_t expected_seq = sources[*first].seq;
 
+  // Two-phase replay: the scan stages page records into the plan; drains
+  // apply them partitioned by page across workers (VDB_JOBS). Counters and
+  // skip diagnostics accumulate serially, so the report is byte-identical
+  // at any worker count.
+  auto note_skip = [&](Lsn lsn, const Status& st) {
+    report.records_skipped += 1;
+    if (report.records_skipped <= 4) {
+      std::fprintf(stderr, "[recovery] skipped record lsn=%llu: %s\n",
+                   static_cast<unsigned long long>(lsn),
+                   st.to_string().c_str());
+    }
+  };
+  engine::RedoApplyPlan plan = db.make_replay_plan(note_skip);
+  auto drain_plan = [&]() -> Status {
+    auto stats = plan.drain();
+    if (!stats.is_ok()) return stats.status();
+    report.records_applied += stats.value().applied;
+    return Status::ok();
+  };
+
   for (size_t i = *first; i < sources.size() && !stopped; ++i) {
     const LogSource& src = sources[i];
     if (src.seq != expected_seq) {
       // Missing sequence (deleted archive / overwritten group): the chain
       // is broken; recovery cannot proceed past this point.
+      VDB_RETURN_IF_ERROR(drain_plan());
       report.complete = false;
       return report;
     }
@@ -146,22 +167,24 @@ Result<RecoveryReport> RecoveryManager::replay_from(
       db.clock().advance_by(cost.cpu_per_replay_record);
       if (rec.lsn < from) return true;
       if (!should_apply || should_apply(rec)) {
-        Status st = db.apply_record(rec);
-        if (!st.is_ok()) {
-          if (st.code() != ErrorCode::kOffline &&
-              st.code() != ErrorCode::kMediaFailure &&
-              st.code() != ErrorCode::kNotFound) {
-            inner = st;
-            return false;
-          }
-          report.records_skipped += 1;
-          if (report.records_skipped <= 4) {
-            std::fprintf(stderr, "[recovery] skipped record lsn=%llu: %s\n",
-                         static_cast<unsigned long long>(rec.lsn),
-                         st.to_string().c_str());
-          }
+        if (engine::RedoApplyPlan::wants(rec.type)) {
+          plan.stage(rec);
         } else {
-          report.records_applied += 1;
+          // Serial barrier: DDL and transaction bookkeeping records must
+          // see every staged page change applied before they run.
+          Status st = drain_plan();
+          if (st.is_ok()) st = db.apply_record(rec);
+          if (!st.is_ok()) {
+            if (st.code() != ErrorCode::kOffline &&
+                st.code() != ErrorCode::kMediaFailure &&
+                st.code() != ErrorCode::kNotFound) {
+              inner = st;
+              return false;
+            }
+            note_skip(rec.lsn, st);
+          } else {
+            report.records_applied += 1;
+          }
         }
       }
       report.recovered_to = std::max(report.recovered_to, rec.lsn);
@@ -172,6 +195,7 @@ Result<RecoveryReport> RecoveryManager::replay_from(
       db.clock().advance_by(cost.archive_file_overhead);
       auto bytes = fs.read_all(src.archive_path, sim::IoMode::kForeground);
       if (!bytes.is_ok()) {
+        VDB_RETURN_IF_ERROR(drain_plan());
         report.complete = false;  // archive unreadable (corrupted)
         return report;
       }
@@ -183,6 +207,7 @@ Result<RecoveryReport> RecoveryManager::replay_from(
     } else {
       auto member = db.redo().intact_member(src.group_index);
       if (!member.is_ok()) {
+        VDB_RETURN_IF_ERROR(drain_plan());
         report.complete = false;  // every member of a needed group lost
         return report;
       }
@@ -195,6 +220,7 @@ Result<RecoveryReport> RecoveryManager::replay_from(
     }
     if (!inner.is_ok()) return inner;
   }
+  VDB_RETURN_IF_ERROR(drain_plan());
 
   if (stopped) report.complete = false;
   return report;

@@ -15,13 +15,19 @@ EventHandle Scheduler::schedule_every(SimDuration period,
   auto alive = std::make_shared<bool>(true);
 
   // Self-rescheduling wrapper. It re-arms only while the shared token is
-  // still set, so cancel() stops the chain.
+  // still set, so cancel() stops the chain. The stored function holds only
+  // a weak reference to itself — each pending Event carries the strong one
+  // — so the chain is freed as soon as no event references it (a strong
+  // self-capture would be a shared_ptr cycle and leak every timer).
   auto arm = std::make_shared<std::function<void(SimTime)>>();
-  *arm = [this, period, fn = std::move(fn), alive, arm](SimTime at) {
+  std::weak_ptr<std::function<void(SimTime)>> weak_arm = arm;
+  *arm = [this, period, fn = std::move(fn), alive, weak_arm](SimTime at) {
+    auto self = weak_arm.lock();
+    if (!self) return;
     queue_.push(Event{at, next_seq_++,
-                      [this, period, fn, alive, arm, at] {
+                      [this, period, fn, alive, self, at] {
                         fn();
-                        if (*alive) (*arm)(at + period);
+                        if (*alive) (*self)(at + period);
                       },
                       alive});
   };

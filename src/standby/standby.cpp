@@ -92,13 +92,18 @@ void StandbyDatabase::apply_archive(const std::string& standby_path) {
   auto bytes = host_->fs().read_all(standby_path, sim::IoMode::kBackground);
   if (!bytes.is_ok()) return;
 
+  // Managed recovery is the same two-phase replay the primary's recovery
+  // drivers use: scan serially (loser tracking, busy-time accounting),
+  // stage page records, drain the partitioned plan at DDL barriers and at
+  // the end of the archive. Apply failures are ignored exactly as before —
+  // gaps are impossible since archives arrive in sequence order.
+  engine::RedoApplyPlan plan = db_->make_replay_plan();
+
   std::uint64_t records = 0;
   (void)wal::parse_records(
       std::span<const std::uint8_t>(bytes.value()).subspan(kGroupHeaderSize),
       [&](const wal::LogRecord& rec) {
         records += 1;
-        Status st = db_->apply_record(rec);
-        (void)st;  // gaps impossible: archives arrive in sequence order
         applied_to_ = std::max(applied_to_, rec.lsn);
         switch (rec.type) {
           case wal::LogRecordType::kCommit:
@@ -117,6 +122,7 @@ void StandbyDatabase::apply_archive(const std::string& standby_path) {
           case wal::LogRecordType::kInsert:
           case wal::LogRecordType::kUpdate:
           case wal::LogRecordType::kDelete:
+            plan.stage(rec);
             if (rec.is_clr) {
               live_[rec.txn.value].clrs += 1;
             } else {
@@ -124,11 +130,17 @@ void StandbyDatabase::apply_archive(const std::string& standby_path) {
                   wal::UndoOp{rec.lsn, rec.type, rec.dml});
             }
             break;
+          case wal::LogRecordType::kFormatPage:
+            plan.stage(rec);
+            break;
           default:
+            (void)plan.drain();  // DDL barrier
+            (void)db_->apply_record(rec);
             break;
         }
         return true;
       });
+  (void)plan.drain();
   records_applied_ += records;
   archives_applied_ += 1;
   busy_until_ += records * cfg_.db.cost.cpu_per_replay_record;

@@ -72,7 +72,7 @@ Result<PageRef> BufferCache::fetch(PageId id) {
   return PageRef{this, id, &raw->page};
 }
 
-void BufferCache::mark_dirty(PageId id, SimTime now) {
+void BufferCache::mark_dirty(PageId id, SimTime now, Lsn first_change_lsn) {
   auto it = frames_.find(id);
   VDB_CHECK_MSG(it != frames_.end(), "mark_dirty on non-resident page");
   VDB_CHECK_MSG(it->second->pins > 0, "mark_dirty on unpinned page");
@@ -80,7 +80,8 @@ void BufferCache::mark_dirty(PageId id, SimTime now) {
   if (!frame.dirty) {
     frame.dirty = true;
     frame.dirty_since = now;
-    frame.rec_lsn = frame.page.lsn();
+    frame.rec_lsn = first_change_lsn != kInvalidLsn ? first_change_lsn
+                                                    : frame.page.lsn();
     dirty_fresh_.push_back(id);
   }
 }

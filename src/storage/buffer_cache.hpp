@@ -93,7 +93,15 @@ class BufferCache {
   /// Marks a pinned page dirty. The page's own LSN must already be set to
   /// the redo record that modified it. `now` timestamps the first-dirty
   /// instant for aged-flush (incremental checkpoint) policies.
-  void mark_dirty(PageId id, SimTime now);
+  ///
+  /// `first_change_lsn` overrides the frame's recovery LSN (the position
+  /// crash recovery must replay from to reconstruct this page). It defaults
+  /// to the page's current LSN — correct when mark_dirty follows every
+  /// individual change — but batched replay marks a page dirty once after
+  /// applying a whole run of records, and must pass the LSN of the *first*
+  /// record applied or a checkpoint taken mid-recovery would record a
+  /// too-late replay start and lose the earlier changes on a second crash.
+  void mark_dirty(PageId id, SimTime now, Lsn first_change_lsn = kInvalidLsn);
 
   /// Writes all dirty frames (WAL rule enforced, background I/O).
   CheckpointResult checkpoint();

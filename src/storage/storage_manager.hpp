@@ -126,6 +126,11 @@ class StorageManager final : public PageStore {
 
   Result<PageRef> fetch(PageId id) { return cache_->fetch(id); }
   void mark_dirty(PageId id) { cache_->mark_dirty(id, fs_->clock().now()); }
+  /// Batched-replay variant: records the LSN of the first change this frame
+  /// absorbed since it was last clean (see BufferCache::mark_dirty).
+  void mark_dirty(PageId id, Lsn first_change_lsn) {
+    cache_->mark_dirty(id, fs_->clock().now(), first_change_lsn);
+  }
   BufferCache& cache() { return *cache_; }
 
   /// Sequentially reads a whole file (one bulk I/O charge) and invokes `fn`

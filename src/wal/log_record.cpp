@@ -1,5 +1,7 @@
 #include "wal/log_record.hpp"
 
+#include <cstring>
+
 namespace vdb::wal {
 
 const char* to_string(LogRecordType t) {
@@ -52,6 +54,10 @@ void encode_dml(Encoder& enc, const DmlChange& dml) {
   enc.put_bytes({b.data() + b.size() - suffix, suffix});  // == a tail
 }
 
+// Zero-copy decode: the prefix/mid/suffix pieces stay as views into the
+// framed payload and are assembled straight into the caller's (reused)
+// image vectors — clear() keeps capacity, so a warmed-up scratch record
+// decodes with no heap traffic.
 Status decode_dml(Decoder& dec, DmlChange* dml) {
   auto table = dec.get_u32();
   auto file = dec.get_u32();
@@ -66,36 +72,34 @@ Status decode_dml(Decoder& dec, DmlChange* dml) {
       !suffix_len.is_ok()) {
     return make_error(ErrorCode::kCorruption, "bad dml payload");
   }
-  auto prefix = dec.get_bytes();
+  auto prefix = dec.get_view();
   if (!prefix.is_ok()) return prefix.status();
-  auto mid_before = dec.get_bytes();
+  auto mid_before = dec.get_view();
   if (!mid_before.is_ok()) return mid_before.status();
-  auto mid_after = dec.get_bytes();
+  auto mid_after = dec.get_view();
   if (!mid_after.is_ok()) return mid_after.status();
-  auto suffix = dec.get_bytes();
+  auto suffix = dec.get_view();
   if (!suffix.is_ok()) return suffix.status();
 
-  auto assemble = [&](const std::vector<std::uint8_t>& mid,
-                      std::uint32_t total) -> Result<std::vector<std::uint8_t>> {
+  auto assemble = [&](std::span<const std::uint8_t> mid, std::uint32_t total,
+                      std::vector<std::uint8_t>* out) -> Status {
     if (prefix.value().size() + mid.size() + suffix.value().size() != total) {
       return Status{ErrorCode::kCorruption, "dml image length mismatch"};
     }
-    std::vector<std::uint8_t> out;
-    out.reserve(total);
-    out.insert(out.end(), prefix.value().begin(), prefix.value().end());
-    out.insert(out.end(), mid.begin(), mid.end());
-    out.insert(out.end(), suffix.value().begin(), suffix.value().end());
-    return out;
+    out->clear();
+    out->reserve(total);
+    out->insert(out->end(), prefix.value().begin(), prefix.value().end());
+    out->insert(out->end(), mid.begin(), mid.end());
+    out->insert(out->end(), suffix.value().begin(), suffix.value().end());
+    return Status::ok();
   };
-  auto before = assemble(mid_before.value(), before_len.value());
-  if (!before.is_ok()) return before.status();
-  auto after = assemble(mid_after.value(), after_len.value());
-  if (!after.is_ok()) return after.status();
+  VDB_RETURN_IF_ERROR(
+      assemble(mid_before.value(), before_len.value(), &dml->before));
+  VDB_RETURN_IF_ERROR(
+      assemble(mid_after.value(), after_len.value(), &dml->after));
 
   dml->table = TableId{table.value()};
   dml->rid = RowId{PageId{FileId{file.value()}, block.value()}, slot.value()};
-  dml->before = std::move(before).value();
-  dml->after = std::move(after).value();
   return Status::ok();
 }
 
@@ -154,6 +158,30 @@ void LogRecord::encode(Encoder& enc) const {
 
 Result<LogRecord> LogRecord::decode(Decoder& dec) {
   LogRecord rec;
+  VDB_RETURN_IF_ERROR(decode_into(dec, &rec));
+  return rec;
+}
+
+Status LogRecord::decode_into(Decoder& dec, LogRecord* out) {
+  LogRecord& rec = *out;
+  // Reset every field the upcoming type may not touch, keeping the heap
+  // buffers' capacity so repeated decodes through one scratch record stop
+  // allocating once warmed up.
+  rec.dml.table = TableId{};
+  rec.dml.rid = RowId{};
+  rec.dml.before.clear();
+  rec.dml.after.clear();
+  rec.page = PageId::invalid();
+  rec.format_owner = TableId{};
+  rec.slot_size = 0;
+  rec.name.clear();
+  rec.table_id = TableId{};
+  rec.tablespace_id = TablespaceId{};
+  rec.owner_user = UserId{};
+  rec.ddl_slot_size = 0;
+  rec.recovery_start_lsn = kInvalidLsn;
+  rec.active_txns.clear();
+
   auto type = dec.get_u8();
   auto txn = dec.get_u64();
   auto lsn = dec.get_u64();
@@ -259,7 +287,7 @@ Result<LogRecord> LogRecord::decode(Decoder& dec) {
     default:
       return make_error(ErrorCode::kCorruption, "unknown record type");
   }
-  return rec;
+  return Status::ok();
 }
 
 std::uint64_t LogRecord::serialized_size() const {
@@ -271,21 +299,28 @@ std::uint64_t LogRecord::serialized_size() const {
 
 std::uint64_t frame_record(const LogRecord& rec,
                            std::vector<std::uint8_t>* out) {
-  std::vector<std::uint8_t> payload;
-  Encoder enc(&payload);
+  // Encode straight into the destination: reserve an 8-byte header slot,
+  // let the payload land after it, then patch length + CRC back in. The
+  // record never exists in a temporary buffer, so appending to a reusable
+  // arena is allocation-free once the arena has grown to steady state.
+  const std::uint64_t start = out->size();
+  out->resize(start + 8);
+  Encoder enc(out);
   rec.encode(enc);
-
-  const std::uint64_t before = out->size();
-  Encoder frame(out);
-  frame.reserve(8 + payload.size());
-  frame.put_u32(static_cast<std::uint32_t>(payload.size()));
-  frame.put_u32(crc32c(payload));
-  out->insert(out->end(), payload.begin(), payload.end());
-  return out->size() - before;
+  const std::uint64_t payload_len = out->size() - start - 8;
+  const std::span<const std::uint8_t> payload(out->data() + start + 8,
+                                              payload_len);
+  const std::uint32_t len_le = static_cast<std::uint32_t>(payload_len);
+  const std::uint32_t crc_le = crc32c(payload);
+  std::memcpy(out->data() + start, &len_le, 4);
+  std::memcpy(out->data() + start + 4, &crc_le, 4);
+  return out->size() - start;
 }
 
-Status parse_records(std::span<const std::uint8_t> data,
-                     const std::function<bool(const LogRecord&)>& fn) {
+Status parse_records(
+    std::span<const std::uint8_t> data,
+    const std::function<bool(const LogRecord&, std::uint64_t)>& fn) {
+  LogRecord scratch;  // reused across records; callback must not retain it
   size_t pos = 0;
   while (pos + 8 <= data.size()) {
     Decoder header(data.subspan(pos, 8));
@@ -295,12 +330,19 @@ Status parse_records(std::span<const std::uint8_t> data,
     auto payload = data.subspan(pos + 8, len);
     if (crc32c(payload) != crc) break;  // torn / corrupt tail
     Decoder dec(payload);
-    auto rec = LogRecord::decode(dec);
-    if (!rec.is_ok()) return rec.status();
-    if (!fn(rec.value())) return Status::ok();
+    VDB_RETURN_IF_ERROR(LogRecord::decode_into(dec, &scratch));
+    if (!fn(scratch, 8 + static_cast<std::uint64_t>(len))) {
+      return Status::ok();
+    }
     pos += 8 + len;
   }
   return Status::ok();
+}
+
+Status parse_records(std::span<const std::uint8_t> data,
+                     const std::function<bool(const LogRecord&)>& fn) {
+  return parse_records(
+      data, [&fn](const LogRecord& rec, std::uint64_t) { return fn(rec); });
 }
 
 }  // namespace vdb::wal

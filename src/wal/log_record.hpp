@@ -92,17 +92,36 @@ struct LogRecord {
   void encode(Encoder& enc) const;
   static Result<LogRecord> decode(Decoder& dec);
 
+  /// Allocation-light decode: overwrites `out` in place, reusing the
+  /// capacity of its vectors and strings. The steady-state replay path —
+  /// millions of records per experiment — decodes through here with zero
+  /// heap traffic once the scratch record's buffers have warmed up.
+  static Status decode_into(Decoder& dec, LogRecord* out);
+
   /// Serialized size plus the fixed framing overhead.
   std::uint64_t serialized_size() const;
 };
 
-/// Framing: [u32 len][u32 crc][payload]. Returns bytes appended.
+/// Framing: [u32 len][u32 crc][payload]. Returns bytes appended. Encodes
+/// directly into `out` (header patched back after the payload lands), so
+/// appending to a pre-sized arena performs no temporary allocation.
 std::uint64_t frame_record(const LogRecord& rec,
                            std::vector<std::uint8_t>* out);
 
 /// Parses every intact record from a log file body, stopping silently at a
 /// torn tail. `fn` returns false to stop early.
+///
+/// The LogRecord passed to `fn` is a scratch object reused across
+/// invocations: callers must copy any field they retain past the callback
+/// (every in-tree caller already copies into its own bookkeeping).
 Status parse_records(std::span<const std::uint8_t> data,
                      const std::function<bool(const LogRecord&)>& fn);
+
+/// As above, additionally reporting each record's framed size in bytes
+/// (header + payload, before charged overhead) so callers can account for
+/// log-space consumption without re-encoding the record.
+Status parse_records(
+    std::span<const std::uint8_t> data,
+    const std::function<bool(const LogRecord&, std::uint64_t)>& fn);
 
 }  // namespace vdb::wal

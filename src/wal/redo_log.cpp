@@ -118,15 +118,14 @@ Status RedoLog::open_existing() {
     g.start_lsn = dec.get_u64().value();
     Lsn end = g.start_lsn;
     std::uint64_t charged = 0;
-    std::uint64_t last_framed_total = 0;
+    // The sized parse overload reports each record's framed length, so the
+    // charged-size reconstruction no longer re-encodes every record.
     VDB_RETURN_IF_ERROR(parse_records(
         std::span<const std::uint8_t>(data).subspan(kGroupHeaderSize),
-        [&](const LogRecord& rec) {
-          std::vector<std::uint8_t> tmp;
-          const std::uint64_t framed = frame_record(rec, &tmp);
-          last_framed_total = framed + cfg_.record_overhead;
-          end = rec.lsn + last_framed_total;
-          charged += last_framed_total;
+        [&](const LogRecord& rec, std::uint64_t framed) {
+          const std::uint64_t total = framed + cfg_.record_overhead;
+          end = rec.lsn + total;
+          charged += total;
           return true;
         }));
     g.end_lsn = end;
@@ -152,10 +151,13 @@ Lsn RedoLog::append(LogRecord& rec) {
   rec.lsn = next_lsn_;
   Pending p;
   p.lsn = rec.lsn;
-  const std::uint64_t framed = frame_record(rec, &p.bytes);
+  p.offset = pending_buf_.size();
+  const std::uint64_t framed = frame_record(rec, &pending_buf_);
+  p.len = static_cast<std::uint32_t>(framed);
   p.charged = framed + cfg_.record_overhead;
+  p.commit = rec.type == LogRecordType::kCommit;
   next_lsn_ += p.charged;
-  pending_.push_back(std::move(p));
+  pending_.push_back(p);
   return rec.lsn;
 }
 
@@ -220,14 +222,14 @@ Status RedoLog::flush() {
   if (flushing_) return Status::ok();  // outer invocation drains the queue
   flushing_ = true;
   Status result = Status::ok();
-  std::vector<std::uint8_t> batch;
 
-  while (!pending_.empty() && result.is_ok()) {
+  while (pending_head_ < pending_.size() && result.is_ok()) {
     // LGWR writes one contiguous batch per group visit: a single device
-    // request per flush instead of one per record.
+    // request per flush instead of one per record. Entries sit back-to-back
+    // in the pending arena, so the batch is a borrowed span — zero copies.
     RedoGroup* g = &groups_[current_];
     if (g->charged_bytes == 0) {
-      g->start_lsn = pending_.front().lsn;
+      g->start_lsn = pending_[pending_head_].lsn;
       Status st = write_group_header(current_);
       if (!st.is_ok()) {
         result = st;
@@ -235,24 +237,30 @@ Status RedoLog::flush() {
       }
     }
 
-    batch.clear();
+    const std::size_t batch_begin = pending_head_;
     std::uint64_t batch_charge = 0;
+    std::uint64_t batch_commits = 0;
     Lsn batch_end = flushed_lsn_;
-    while (!pending_.empty()) {
-      const Pending& rec = pending_.front();
+    while (pending_head_ < pending_.size()) {
+      const Pending& rec = pending_[pending_head_];
       const bool fits = g->charged_bytes + batch_charge + rec.charged <=
                         cfg_.file_size_bytes;
       // An oversized record on a fresh group is written regardless (a file
       // must hold at least one record).
-      const bool force = batch.empty() && g->charged_bytes == 0;
+      const bool force = pending_head_ == batch_begin && g->charged_bytes == 0;
       if (!fits && !force) break;
-      batch.insert(batch.end(), rec.bytes.begin(), rec.bytes.end());
       batch_charge += rec.charged;
       batch_end = rec.lsn + rec.charged;
-      pending_.pop_front();
+      if (rec.commit) batch_commits += 1;
+      pending_head_ += 1;
     }
 
-    if (!batch.empty()) {
+    if (pending_head_ > batch_begin) {
+      const Pending& first = pending_[batch_begin];
+      const Pending& last = pending_[pending_head_ - 1];
+      const std::span<const std::uint8_t> batch(
+          pending_buf_.data() + first.offset,
+          (last.offset + last.len) - first.offset);
       Status st = for_each_member(current_, [&](const std::string& path) {
         return fs_->append(path, batch, sim::IoMode::kForeground,
                            batch_charge);
@@ -263,15 +271,26 @@ Status RedoLog::flush() {
       }
       g->charged_bytes += batch_charge;
       flushed_lsn_ = batch_end;
+      gc_stats_.flushes += 1;
+      gc_stats_.batched_commits += batch_commits;
+      gc_stats_.max_commits_per_flush =
+          std::max(gc_stats_.max_commits_per_flush, batch_commits);
     }
 
-    if (!pending_.empty()) {
+    if (pending_head_ < pending_.size()) {
       // Next record does not fit: log switch (may append checkpoint records
       // to pending_ through the callbacks; the loop drains them too).
       result = switch_group();
     }
   }
   flushing_ = false;
+  if (pending_head_ == pending_.size()) {
+    // Fully drained: compact the arena. clear() keeps capacity, so the
+    // steady-state append→flush cycle never reallocates.
+    pending_.clear();
+    pending_buf_.clear();
+    pending_head_ = 0;
+  }
   return result;
 }
 
@@ -280,7 +299,22 @@ Status RedoLog::flush_to(Lsn lsn) {
   return flush();
 }
 
-void RedoLog::discard_unflushed() { pending_.clear(); }
+Status RedoLog::commit_flush(Lsn commit_lsn) {
+  gc_stats_.commit_requests += 1;
+  // Already durable (an earlier batch carried it), or an outer flush is
+  // mid-drain and will: the commit rides that flush for free.
+  if (flushed_lsn_ > commit_lsn || flushing_) {
+    gc_stats_.piggybacked += 1;
+    return Status::ok();
+  }
+  return flush();
+}
+
+void RedoLog::discard_unflushed() {
+  pending_.clear();
+  pending_buf_.clear();
+  pending_head_ = 0;
+}
 
 void RedoLog::note_recovery_position(Lsn lsn) {
   recovery_position_ = std::max(recovery_position_, lsn);
@@ -336,7 +370,8 @@ Status RedoLog::read_online(Lsn from,
 }
 
 Status RedoLog::resetlogs(Lsn next_lsn) {
-  VDB_CHECK_MSG(pending_.empty(), "resetlogs with buffered records");
+  VDB_CHECK_MSG(pending_head_ == pending_.size(),
+                "resetlogs with buffered records");
   next_lsn_ = std::max(next_lsn_, next_lsn);
   flushed_lsn_ = next_lsn_;
   recovery_position_ = next_lsn_;
@@ -362,7 +397,9 @@ Status RedoLog::resetlogs(Lsn next_lsn) {
 
 std::uint64_t RedoLog::pending_bytes() const {
   std::uint64_t total = 0;
-  for (const auto& p : pending_) total += p.charged;
+  for (std::size_t i = pending_head_; i < pending_.size(); ++i) {
+    total += pending_[i].charged;
+  }
   return total;
 }
 

@@ -18,7 +18,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <string>
 #include <vector>
@@ -48,6 +47,17 @@ struct RedoLogConfig {
   /// Mount prefix per member (member m uses member_dirs[m], falling back
   /// to `dir` when the list is short).
   std::vector<std::string> member_dirs;
+};
+
+/// Group-commit accounting: how often a commit's durability was satisfied
+/// by an already-completed or in-flight flush instead of a fresh device
+/// write, and how many commit records each physical flush carried.
+struct GroupCommitStats {
+  std::uint64_t commit_requests = 0;  // commit_flush() calls
+  std::uint64_t piggybacked = 0;      // satisfied with no new device flush
+  std::uint64_t flushes = 0;          // physical LGWR batch writes
+  std::uint64_t batched_commits = 0;  // commit records across all batches
+  std::uint64_t max_commits_per_flush = 0;
 };
 
 struct RedoGroup {
@@ -90,6 +100,15 @@ class RedoLog {
 
   /// Guarantees durability up to `lsn` (no-op when already flushed).
   Status flush_to(Lsn lsn);
+
+  /// Commit durability with group-commit semantics: if the commit record at
+  /// `commit_lsn` is already durable, or an outer flush is mid-drain and
+  /// will carry it, the commit piggybacks on that flush instead of issuing
+  /// its own. Otherwise triggers a normal LGWR flush whose batch carries
+  /// every co-buffered record — co-arriving commits share one device write.
+  Status commit_flush(Lsn commit_lsn);
+
+  const GroupCommitStats& group_commit_stats() const { return gc_stats_; }
 
   /// Instance crash: buffered, unflushed entries disappear.
   void discard_unflushed();
@@ -141,10 +160,16 @@ class RedoLog {
   Status resetlogs(Lsn next_lsn);
 
  private:
+  /// One buffered record: a slice of the shared pending arena. Records are
+  /// framed back-to-back into `pending_buf_`, so any run of consecutive
+  /// entries is one contiguous span — LGWR writes a whole batch without
+  /// copying it into a staging buffer first.
   struct Pending {
-    std::vector<std::uint8_t> bytes;
+    std::uint64_t offset;  // into pending_buf_
+    std::uint32_t len;     // framed bytes at offset
     Lsn lsn;
     std::uint64_t charged;
+    bool commit;  // kCommit record (group-commit stats)
   };
 
   Status write_group_header(std::uint32_t index);
@@ -167,7 +192,14 @@ class RedoLog {
   std::uint64_t switches_ = 0;
   SimDuration stall_time_ = 0;
   bool flushing_ = false;
-  std::deque<Pending> pending_;
+  /// Flat arena holding every buffered record's framed bytes; entries in
+  /// `pending_` index into it. Compacted (cleared, capacity kept) only when
+  /// fully drained so offsets of records appended mid-flush by checkpoint
+  /// callbacks stay valid. Steady state performs zero allocations.
+  std::vector<std::uint8_t> pending_buf_;
+  std::vector<Pending> pending_;
+  std::size_t pending_head_ = 0;  // first unflushed entry in pending_
+  GroupCommitStats gc_stats_;
 };
 
 }  // namespace vdb::wal

@@ -233,6 +233,38 @@ TEST_F(BufferCacheTest, FlushFileTargetsOneFile) {
   EXPECT_EQ(cache_.dirty_count(), 1u);
 }
 
+TEST_F(BufferCacheTest, LastFetchedFastPathSurvivesEviction) {
+  // Engage the last-fetched fast path with back-to-back fetches of one
+  // page, then evict that page through LRU pressure. The recycled frame
+  // must not be served for the old id afterwards.
+  {
+    auto ref = cache_.fetch(pid(0));
+    ASSERT_TRUE(ref.is_ok());
+    ref.value()->format(TableId{1}, 16);
+    ref.value()->set_lsn(321);
+    cache_.mark_dirty(pid(0), 1);
+  }
+  {
+    auto again = cache_.fetch(pid(0));  // fast-path hit
+    ASSERT_TRUE(again.is_ok());
+    EXPECT_EQ(again.value()->lsn(), 321u);
+  }
+  EXPECT_EQ(cache_.stats().hits, 1u);
+
+  // Push page 0 out (capacity 4, LRU order 0,1,2,3 → fetching 4 new pages
+  // evicts it first) and recycle its frame for other ids.
+  for (std::uint32_t b = 1; b <= 4; ++b) {
+    ASSERT_TRUE(cache_.fetch(pid(b)).is_ok());
+  }
+  EXPECT_GE(cache_.stats().evictions, 1u);
+
+  const int loads = store_.loads;
+  auto back = cache_.fetch(pid(0));
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(store_.loads, loads + 1);  // reloaded, not stale fast-path frame
+  EXPECT_EQ(back.value()->lsn(), 321u);  // dirty eviction preserved it
+}
+
 TEST_F(BufferCacheTest, LoadFailurePropagates) {
   store_.fail_missing = true;
   store_.pages.clear();

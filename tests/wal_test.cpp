@@ -132,6 +132,100 @@ TEST(LogRecord, DdlRoundtrips) {
   EXPECT_EQ(back2.name, "TPCC");
 }
 
+TEST(LogRecord, DecodeIntoResetsScratchAcrossTypes) {
+  // parse_records decodes every record into one scratch LogRecord; a field
+  // set by one record type must never leak into the next.
+  LogRecord dml;
+  dml.type = LogRecordType::kInsert;
+  dml.txn = TxnId{5};
+  dml.lsn = 50;
+  dml.dml.table = TableId{3};
+  dml.dml.rid = RowId{PageId{FileId{1}, 4}, 2};
+  dml.dml.after = {1, 2, 3};
+
+  LogRecord ddl;
+  ddl.type = LogRecordType::kCreateTable;
+  ddl.name = "leaky";
+  ddl.table_id = TableId{8};
+  ddl.ddl_slot_size = 32;
+
+  LogRecord commit;
+  commit.type = LogRecordType::kCommit;
+  commit.txn = TxnId{5};
+  commit.lsn = 60;
+
+  LogRecord scratch;
+  std::vector<std::uint8_t> buf;
+  Encoder enc1(&buf);
+  ddl.encode(enc1);
+  Decoder dec1(buf);
+  ASSERT_TRUE(LogRecord::decode_into(dec1, &scratch).is_ok());
+  EXPECT_EQ(scratch.name, "leaky");
+
+  buf.clear();
+  Encoder enc2(&buf);
+  dml.encode(enc2);
+  Decoder dec2(buf);
+  ASSERT_TRUE(LogRecord::decode_into(dec2, &scratch).is_ok());
+  EXPECT_EQ(scratch.name, "");  // DDL name did not leak
+  EXPECT_EQ(scratch.dml.after, (std::vector<std::uint8_t>{1, 2, 3}));
+
+  buf.clear();
+  Encoder enc3(&buf);
+  commit.encode(enc3);
+  Decoder dec3(buf);
+  ASSERT_TRUE(LogRecord::decode_into(dec3, &scratch).is_ok());
+  EXPECT_TRUE(scratch.dml.after.empty());  // DML images did not leak
+  EXPECT_TRUE(scratch.dml.before.empty());
+  EXPECT_EQ(scratch.type, LogRecordType::kCommit);
+}
+
+TEST(Framing, SizedParseReportsFramedBytes) {
+  std::vector<std::uint8_t> stream;
+  LogRecord a;
+  a.type = LogRecordType::kCommit;
+  a.txn = TxnId{1};
+  const std::uint64_t framed_a = frame_record(a, &stream);
+  LogRecord b;
+  b.type = LogRecordType::kUpdate;
+  b.txn = TxnId{2};
+  b.dml.before = {1, 2, 3, 4};
+  b.dml.after = {1, 9, 3, 4};
+  const std::uint64_t framed_b = frame_record(b, &stream);
+
+  std::vector<std::uint64_t> sizes;
+  ASSERT_TRUE(parse_records(stream,
+                            [&](const LogRecord&, std::uint64_t framed) {
+                              sizes.push_back(framed);
+                              return true;
+                            })
+                  .is_ok());
+  EXPECT_EQ(sizes, (std::vector<std::uint64_t>{framed_a, framed_b}));
+  EXPECT_EQ(framed_a + framed_b, stream.size());
+}
+
+TEST(Framing, FrameRecordAppendsInPlace) {
+  // The arena path: framing into a non-empty buffer must leave earlier
+  // bytes untouched and both records parseable.
+  std::vector<std::uint8_t> arena;
+  LogRecord a;
+  a.type = LogRecordType::kCommit;
+  a.txn = TxnId{1};
+  frame_record(a, &arena);
+  const std::vector<std::uint8_t> first = arena;
+  LogRecord b;
+  b.type = LogRecordType::kCommit;
+  b.txn = TxnId{2};
+  frame_record(b, &arena);
+  EXPECT_TRUE(std::equal(first.begin(), first.end(), arena.begin()));
+  std::vector<std::uint64_t> seen;
+  ASSERT_TRUE(parse_records(arena, [&](const LogRecord& rec) {
+                seen.push_back(rec.txn.value);
+                return true;
+              }).is_ok());
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{1, 2}));
+}
+
 TEST(Framing, ParseStopsAtTornTail) {
   std::vector<std::uint8_t> stream;
   LogRecord a;
@@ -375,6 +469,62 @@ TEST_F(RedoLogTest, ResetlogsStartsFreshAboveOldLsns) {
   LogRecord rec = make_commit(1);
   EXPECT_GE(log->append(rec), reset_at);
   ASSERT_TRUE(log->flush().is_ok());
+}
+
+TEST_F(RedoLogTest, GroupCommitBatchesAndPiggybacks) {
+  auto log = make_log(1 << 20, 3);
+  ASSERT_TRUE(log->create().is_ok());
+
+  // Several transactions' records accumulate in the arena; the first
+  // commit_flush drains them all as one batch.
+  LogRecord a = make_commit(1);
+  const Lsn la = log->append(a);
+  LogRecord b = make_commit(2);
+  const Lsn lb = log->append(b);
+  LogRecord c = make_commit(3);
+  log->append(c);
+  ASSERT_TRUE(log->commit_flush(la).is_ok());
+  const auto& gc = log->group_commit_stats();
+  EXPECT_EQ(gc.commit_requests, 1u);
+  EXPECT_EQ(gc.piggybacked, 0u);
+  EXPECT_GE(gc.flushes, 1u);
+  EXPECT_GE(gc.batched_commits, 3u);  // one write carried all three commits
+  EXPECT_GE(gc.max_commits_per_flush, 3u);
+  EXPECT_EQ(log->pending_bytes(), 0u);
+
+  // A commit already made durable by that batch piggybacks: no extra write.
+  const std::uint64_t flushes_before = log->group_commit_stats().flushes;
+  ASSERT_TRUE(log->commit_flush(lb).is_ok());
+  EXPECT_EQ(log->group_commit_stats().piggybacked, 1u);
+  EXPECT_EQ(log->group_commit_stats().flushes, flushes_before);
+}
+
+TEST_F(RedoLogTest, ArenaSurvivesInterleavedAppendFlushCycles) {
+  // Steady-state arena reuse: append/flush cycles must keep records intact
+  // and readable across group switches.
+  auto log = make_log(4096, 3);
+  ASSERT_TRUE(log->create().is_ok());
+  std::vector<Lsn> lsns;
+  for (int cycle = 0; cycle < 30; ++cycle) {
+    for (int i = 0; i < 3; ++i) {
+      LogRecord rec = make_commit(static_cast<std::uint64_t>(cycle * 3 + i));
+      lsns.push_back(log->append(rec));
+    }
+    ASSERT_TRUE(log->flush().is_ok());
+  }
+  std::vector<std::uint64_t> seen;
+  ASSERT_TRUE(log->read_online(log->oldest_online_lsn(),
+                               [&](const LogRecord& rec) {
+                                 seen.push_back(rec.txn.value);
+                                 return true;
+                               })
+                  .is_ok());
+  ASSERT_FALSE(seen.empty());
+  // The retained suffix is contiguous and ends at the last append.
+  EXPECT_EQ(seen.back(), 89u);
+  for (size_t i = 1; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i], seen[i - 1] + 1);
+  }
 }
 
 TEST_F(RedoLogTest, FlushToIsIdempotent) {
