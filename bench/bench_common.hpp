@@ -207,7 +207,9 @@ class BenchRun {
           "\"full_checkpoints\": %llu, \"incremental_checkpoints\": %llu, "
           "\"redo_bytes\": %llu, \"fault_injected\": %s, \"recovered\": %s, "
           "\"recovery_seconds\": %s, \"lost_committed\": %llu, "
-          "\"integrity_violations\": %u}",
+          "\"integrity_violations\": %u, \"io_retries\": %llu, "
+          "\"io_retry_exhausted\": %llu, \"bad_blocks_found\": %llu, "
+          "\"blocks_repaired\": %llu}",
           json_num(r.tpmc).c_str(),
           static_cast<unsigned long long>(r.committed),
           static_cast<unsigned long long>(r.full_checkpoints),
@@ -217,7 +219,11 @@ class BenchRun {
           r.recovered ? "true" : "false",
           json_num(to_seconds(r.recovery_time)).c_str(),
           static_cast<unsigned long long>(r.lost_committed),
-          r.integrity_violations);
+          r.integrity_violations,
+          static_cast<unsigned long long>(r.io_retries),
+          static_cast<unsigned long long>(r.io_retry_exhausted),
+          static_cast<unsigned long long>(r.bad_blocks_found),
+          static_cast<unsigned long long>(r.blocks_repaired));
     }
     std::fprintf(f, "\n  ]\n}\n");
     std::fclose(f);

@@ -1,0 +1,127 @@
+// Storage-fault faultload (extension): silent page corruption, torn page
+// writes, and transient I/O errors across the archive-capable recovery
+// configurations of Table 3.
+//
+// These faults are silent at injection time — no error is returned to the
+// writer — and surface later through verify-on-read (CRC32C on every fetch
+// miss) or the bounded I/O retry budget. Repair is online block media
+// recovery (the RMAN BLOCKRECOVER analogue): restore one block from the
+// reference backup, roll it forward through the redo chain, datafile kept
+// online. Archive mode is required so the roll-forward chain reaches back
+// to the backup; the large-file configurations of Table 3 never archive
+// within a 20-minute run, which is why the matrix uses archive_configs().
+//
+// Expected shapes:
+//  - silent corruption: detected at the first fetch miss of the damaged
+//    block, exactly one bad block found and repaired, zero integrity
+//    violations, near-zero lost transactions (repair is online);
+//  - torn write at crash: instance recovery + post-recovery block repair
+//    from backup; recovery time tracks the config's redo-replay cost;
+//  - transient I/O errors: mostly absorbed by the retry budget (visible in
+//    the IoRetries column); exhaustion surfaces as failed attempts, never
+//    as damage — zero bad blocks, zero violations.
+#include "bench/bench_common.hpp"
+
+using namespace vdb;
+using namespace vdb::bench;
+
+namespace {
+
+SimDuration storage_inject_at() {
+  return quick_mode() ? 150 * kSecond : 300 * kSecond;
+}
+
+faults::ExtendedFaultSpec make_storage_fault(faults::ExtendedFaultType type) {
+  faults::ExtendedFaultSpec spec;
+  spec.type = type;
+  spec.tablespace = "TPCC";
+  switch (type) {
+    case faults::ExtendedFaultType::kSilentPageCorruption:
+      // File 0 block 0 is the warehouse page — hot enough that every
+      // transaction references it, so detection is immediate once the
+      // cached copy is dropped.
+      spec.datafile_index = 0;
+      spec.page_block = 0;
+      break;
+    case faults::ExtendedFaultType::kTornPageWrite:
+      // Multi-row pages live in the second file. Keep only the first 64
+      // bytes: the new checksum lands on disk but the payload keeps its
+      // old bytes — the worst-case tear, guaranteed to be detectable
+      // whenever the flushed page changed at all.
+      spec.datafile_index = 1;
+      spec.torn_keep_bytes = 64;
+      break;
+    case faults::ExtendedFaultType::kTransientIoErrors:
+      spec.datafile_index = 0;
+      spec.error_window = 30 * kSecond;
+      spec.error_probability = 0.2;
+      break;
+    default:
+      break;
+  }
+  return spec;
+}
+
+struct FaultSection {
+  faults::ExtendedFaultType type;
+  const char* label;
+};
+
+constexpr FaultSection kSections[] = {
+    {faults::ExtendedFaultType::kSilentPageCorruption, "silent-corruption"},
+    {faults::ExtendedFaultType::kTornPageWrite, "torn-write"},
+    {faults::ExtendedFaultType::kTransientIoErrors, "transient-io"},
+};
+
+}  // namespace
+
+int main() {
+  print_header("Storage faults: detection, online block repair, I/O retry",
+               "extension of Vieira & Madeira, DSN 2002 (Table 3 configs)");
+
+  BenchRun run("corruption");
+  std::vector<std::vector<std::size_t>> handles;  // [section][config]
+  for (const FaultSection& section : kSections) {
+    std::vector<std::size_t> row;
+    for (const RecoveryConfigSpec& config : archive_configs()) {
+      ExperimentOptions opts = paper_options(config);
+      opts.archive_mode = true;
+      opts.storage_fault = make_storage_fault(section.type);
+      opts.storage_inject_at = storage_inject_at();
+      row.push_back(run.add(std::string(config.name) + "+" + section.label,
+                            std::move(opts)));
+    }
+    handles.push_back(std::move(row));
+  }
+
+  std::size_t section_index = 0;
+  for (const FaultSection& section : kSections) {
+    std::printf("-- %s --\n", faults::to_string(section.type));
+    TablePrinter table({"Config", "Recovery", "Lost", "Violations",
+                        "Bad Blocks", "Repaired", "I/O Retries",
+                        "Exhausted"});
+    std::size_t next = 0;
+    for (const RecoveryConfigSpec& config : archive_configs()) {
+      const ExperimentResult& result =
+          run.get(handles[section_index][next++]);
+      table.add_row({config.name, recovery_cell(result),
+                     std::to_string(result.lost_committed),
+                     std::to_string(result.integrity_violations),
+                     std::to_string(result.bad_blocks_found),
+                     std::to_string(result.blocks_repaired),
+                     std::to_string(result.io_retries),
+                     std::to_string(result.io_retry_exhausted)});
+    }
+    table.print();
+    std::printf("\n");
+    section_index += 1;
+  }
+
+  std::printf(
+      "Shape checks: silent corruption and torn writes are found and\n"
+      "repaired (Bad Blocks == Repaired) with zero integrity violations;\n"
+      "the datafile never goes offline for silent corruption. Transient\n"
+      "I/O shows retries absorbing the glitch — no blocks are ever bad.\n");
+  run.finish();
+  return 0;
+}

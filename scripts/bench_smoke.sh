@@ -24,7 +24,7 @@ export VDB_QUICK=1
 export VDB_JOBS=2
 
 benches="tables12 table3 figure4 figure5 table4 table5 figure6 figure7 \
-ablation extension_twofault"
+ablation extension_twofault corruption"
 
 failed=0
 for name in $benches; do

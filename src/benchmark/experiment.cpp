@@ -114,13 +114,162 @@ Result<ExperimentResult> Experiment::run() {
     result.incremental_checkpoints += d.stats().incremental_checkpoints;
     result.log_switches += d.redo().switch_count();
     result.log_stall_time += d.redo().stall_time();
+    result.io_retries += d.storage().retry_stats().retries;
+    result.io_retry_exhausted += d.storage().retry_stats().exhausted;
   };
 
-  if (!opts_.fault.has_value()) {
+  // Shared recovery epilogue: account lost transactions and resume the
+  // workload, timing recovery to the first post-procedure commit.
+  auto finish_recovery = [&](bool procedure_ok, SimTime recovery_start,
+                             Lsn recovered_to,
+                             SimTime failure_time) -> Status {
+    if (!procedure_ok) {
+      // Nothing was recovered: every committed write transaction is lost.
+      recovered_to = 0;
+      result.recovery_complete = false;
+    }
+    result.lost_committed = driver.count_lost(recovered_to, failure_time);
+
+    if (procedure_ok) {
+      // "Recovery time" ends when transaction processing is reestablished
+      // from the end-user's point of view: the first commit after the
+      // procedure started.
+      const size_t commits_before = driver.commits().size();
+      Status resume = driver.run_until(end);
+      if (driver.commits().size() > commits_before) {
+        result.recovered = true;
+        result.recovery_time =
+            driver.commits()[commits_before].commit_time - recovery_start;
+      } else {
+        // Out of experiment window before service came back — the
+        // paper's ">600 s" cells.
+        result.recovered = false;
+        result.recovery_time =
+            end > recovery_start ? end - recovery_start : 0;
+      }
+      if (!resume.is_ok() && clock.now() < end) {
+        return make_error(resume.code(), "post-recovery workload failed: " +
+                                             resume.message());
+      }
+    } else {
+      result.recovered = false;
+      result.recovery_time = end > recovery_start ? end - recovery_start : 0;
+    }
+    return Status::ok();
+  };
+
+  // DBVERIFY + BLOCKRECOVER: scan every live datafile and repair each bad
+  // block from the backup + redo chain, with the datafile kept online.
+  auto repair_corrupt_blocks = [&](engine::Database& d) -> Status {
+    std::vector<PageId> bad;
+    for (const auto& file : d.storage().files()) {
+      if (file.dropped || file.status == storage::FileStatus::kMissing) {
+        continue;
+      }
+      auto report = d.storage().verify_file(file.id);
+      if (!report.is_ok()) return report.status();
+      for (const auto& block : report.value().bad) bad.push_back(block.page);
+    }
+    result.bad_blocks_found += bad.size();
+    for (PageId pid : bad) {
+      auto rep = rm.recover_block(d, pid);
+      if (!rep.is_ok()) return rep.status();
+      result.blocks_repaired += rep.value().blocks_restored;
+      result.archives_read += rep.value().archives_read;
+    }
+    return Status::ok();
+  };
+
+  if (!opts_.fault.has_value() && !opts_.storage_fault.has_value()) {
     Status st = driver.run_until(end);
     if (!st.is_ok()) {
       return make_error(st.code(),
                         "workload failed without fault: " + st.message());
+    }
+  } else if (opts_.storage_fault.has_value()) {
+    const faults::ExtendedFaultSpec& sfault = *opts_.storage_fault;
+    const SimTime fault_time = start + opts_.storage_inject_at;
+    Status pre = driver.run_until(fault_time);
+    if (!pre.is_ok()) {
+      return make_error(pre.code(),
+                        "pre-fault workload failed: " + pre.message());
+    }
+
+    faults::ExtendedFaultInjector injector(&backups);
+    VDB_RETURN_IF_ERROR(injector.inject(*db, sfault));
+    result.fault_injected = true;
+    result.fault_time = clock.now();
+
+    if (sfault.type == faults::ExtendedFaultType::kSilentPageCorruption) {
+      // The cached copy would mask the on-disk damage; evict it so the next
+      // reference takes a fetch miss and trips verify-on-read.
+      if (injector.last_target_page().valid()) {
+        db->storage().cache().discard_page(injector.last_target_page());
+      }
+    } else if (sfault.type == faults::ExtendedFaultType::kTornPageWrite) {
+      // Make the armed tear fire (the checkpoint sweep writes the file),
+      // then crash: the classic torn-page-at-power-loss scenario.
+      (void)db->checkpoint_now();
+      (void)db->shutdown_abort();
+    }
+
+    Status failure = driver.run_until(end);
+    if (failure.is_ok()) {
+      // The fault never surfaced — transient errors fully absorbed by the
+      // bounded retry, or the torn write landed on unchanged bytes.
+      result.recovered = true;
+    } else {
+      const SimTime failure_time = clock.now();
+      result.detection_delay = opts_.detection_time;
+      clock.advance_by(opts_.detection_time);
+      const SimTime recovery_start = clock.now();
+
+      Lsn recovered_to = std::numeric_limits<Lsn>::max();  // complete
+      bool procedure_ok = true;
+
+      switch (sfault.type) {
+        case faults::ExtendedFaultType::kSilentPageCorruption: {
+          // Online repair: the datafile stays online; only the bad block is
+          // restored from backup and rolled forward.
+          Status repair = repair_corrupt_blocks(*db);
+          if (!repair.is_ok()) procedure_ok = false;
+          break;
+        }
+        case faults::ExtendedFaultType::kTornPageWrite: {
+          accumulate_engine(*db);
+          auto fresh =
+              std::make_unique<engine::Database>(&primary, &sched, cfg);
+          fresh->set_on_mounted(
+              [&](engine::Database& d) { (void)tdb.attach(&d); });
+          // Instance recovery replays from the tearing checkpoint onward,
+          // which never revisits the torn block — repair it from the
+          // backup before the rebuild scan reads it.
+          fresh->set_post_recovery_hook(
+              [&](engine::Database& d) { return repair_corrupt_blocks(d); });
+          Status up = fresh->startup();
+          if (!up.is_ok()) {
+            procedure_ok = false;
+          } else {
+            db = std::move(fresh);
+          }
+          break;
+        }
+        case faults::ExtendedFaultType::kTransientIoErrors: {
+          // Retry budget exhausted inside the glitch window: wait out the
+          // rest of the window, then resume — nothing on disk is damaged.
+          const SimTime window_end = result.fault_time + sfault.error_window;
+          if (clock.now() < window_end) {
+            clock.advance_by(window_end - clock.now());
+          }
+          break;
+        }
+        default:
+          procedure_ok = false;
+          break;
+      }
+
+      VDB_RETURN_IF_ERROR(finish_recovery(procedure_ok, recovery_start,
+                                          recovered_to, failure_time));
     }
   } else {
     const faults::FaultSpec& fault = *opts_.fault;
@@ -258,39 +407,8 @@ Result<ExperimentResult> Experiment::run() {
         }
       }
 
-      if (!procedure_ok) {
-        // Nothing was recovered: every committed write transaction is lost.
-        recovered_to = 0;
-        result.recovery_complete = false;
-      }
-      result.lost_committed = driver.count_lost(recovered_to, failure_time);
-
-      if (procedure_ok) {
-        // "Recovery time" ends when transaction processing is reestablished
-        // from the end-user's point of view: the first commit after the
-        // procedure started.
-        const size_t commits_before = driver.commits().size();
-        Status resume = driver.run_until(end);
-        if (driver.commits().size() > commits_before) {
-          result.recovered = true;
-          result.recovery_time =
-              driver.commits()[commits_before].commit_time - recovery_start;
-        } else {
-          // Out of experiment window before service came back — the
-          // paper's ">600 s" cells.
-          result.recovered = false;
-          result.recovery_time = end > recovery_start ? end - recovery_start
-                                                      : 0;
-        }
-        if (!resume.is_ok() && clock.now() < end) {
-          return make_error(resume.code(),
-                            "post-recovery workload failed: " +
-                                resume.message());
-        }
-      } else {
-        result.recovered = false;
-        result.recovery_time = end > recovery_start ? end - recovery_start : 0;
-      }
+      VDB_RETURN_IF_ERROR(finish_recovery(procedure_ok, recovery_start,
+                                          recovered_to, failure_time));
     }
   }
 
@@ -305,6 +423,9 @@ Result<ExperimentResult> Experiment::run() {
     // configuration under test.
   }
   result.redo_bytes = db->redo().next_lsn() - redo_start_lsn;
+  for (const auto& disk : primary.disks()) {
+    result.transient_errors += disk->stats().transient_errors;
+  }
 
   result.tpmc = driver.tpmc(start, end);
   result.tpm_total = driver.tpm_total(start, end);

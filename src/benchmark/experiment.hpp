@@ -42,6 +42,12 @@ struct ExperimentOptions {
   /// until `fault` needs the mechanism it broke.
   std::optional<faults::ExtendedFaultSpec> latent_fault;
   SimDuration latent_inject_at = 60 * kSecond;
+  /// Optional storage fault (silent page corruption, torn page write,
+  /// transient I/O errors), injected at `storage_inject_at`. Mutually
+  /// exclusive with `fault`. Detection happens through verify-on-read;
+  /// repair through online block media recovery (no full-file restore).
+  std::optional<faults::ExtendedFaultSpec> storage_fault;
+  SimDuration storage_inject_at = 300 * kSecond;
   SimDuration duration = 20 * kMinute;
   /// Fixed operator detection time before the recovery procedure starts
   /// (the paper's "typical detection time"; excluded from recovery time).
@@ -79,6 +85,13 @@ struct ExperimentResult {
   SimDuration detection_delay = 0;  // failure surfaced → procedure start
   std::uint64_t lost_committed = 0;
   std::uint64_t archives_read = 0;
+
+  // Storage-fault measures.
+  std::uint64_t io_retries = 0;          // transient errors absorbed by retry
+  std::uint64_t io_retry_exhausted = 0;  // operations that ran out of budget
+  std::uint64_t transient_errors = 0;    // device-level failures (DiskStats)
+  std::uint64_t bad_blocks_found = 0;    // verify-scan hits
+  std::uint64_t blocks_repaired = 0;     // online block media recovery
 
   // Integrity.
   std::uint32_t integrity_checks = 0;

@@ -16,6 +16,7 @@ const char* to_string(ErrorCode code) {
     case ErrorCode::kTxnAborted: return "TxnAborted";
     case ErrorCode::kNotOpen: return "NotOpen";
     case ErrorCode::kCorruption: return "Corruption";
+    case ErrorCode::kTransientIo: return "TransientIo";
     case ErrorCode::kRecoveryRequired: return "RecoveryRequired";
     case ErrorCode::kUnrecoverable: return "Unrecoverable";
     case ErrorCode::kInternal: return "Internal";

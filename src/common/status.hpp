@@ -29,6 +29,7 @@ enum class ErrorCode {
   kTxnAborted,        // transaction was rolled back
   kNotOpen,           // instance not in OPEN state
   kCorruption,        // checksum mismatch / torn page
+  kTransientIo,       // device I/O failed transiently (retryable)
   kRecoveryRequired,  // datafile needs media recovery before use
   kUnrecoverable,     // recovery impossible with available logs/backups
   kInternal,          // invariant violation detected at runtime

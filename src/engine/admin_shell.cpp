@@ -36,6 +36,14 @@ Result<std::uint32_t> parse_u32(const std::string& token) {
   }
 }
 
+Result<std::uint64_t> parse_u64(const std::string& token) {
+  try {
+    return static_cast<std::uint64_t>(std::stoull(token));
+  } catch (...) {
+    return Status{ErrorCode::kInvalidArgument, "not a number: " + token};
+  }
+}
+
 }  // namespace
 
 Result<std::string> AdminShell::execute(const std::string& command) {
@@ -184,6 +192,28 @@ Result<std::string> AdminShell::execute(const std::string& command) {
     return bad_syntax(command);
   }
 
+  if (verb == "VERIFY") {
+    // DBVERIFY analogue: checksum every block of every live datafile.
+    std::ostringstream out;
+    std::uint64_t total_bad = 0;
+    for (const auto& file : db_->storage().files()) {
+      if (file.dropped || file.status == storage::FileStatus::kMissing) {
+        continue;
+      }
+      auto report = db_->storage().verify_file(file.id);
+      if (!report.is_ok()) return report.status();
+      out << file.path << ": " << report.value().blocks_scanned
+          << " blocks scanned, " << report.value().bad.size() << " bad\n";
+      for (const auto& bad : report.value().bad) {
+        out << "  block " << bad.page.block << " offset " << bad.offset
+            << ": " << bad.error.to_string() << "\n";
+      }
+      total_bad += report.value().bad.size();
+    }
+    out << "verify: " << total_bad << " corrupt block(s)";
+    return out.str();
+  }
+
   if (verb == "HOST" && tokens.size() >= 3) {
     const std::string op = upper(tokens[1]);
     if (op == "RM") {
@@ -193,6 +223,21 @@ Result<std::string> AdminShell::execute(const std::string& command) {
     if (op == "CORRUPT") {
       VDB_RETURN_IF_ERROR(db_->host().fs().corrupt(tokens[2]));
       return "corrupted " + tokens[2];
+    }
+    if (op == "FLIPBITS" && tokens.size() >= 5) {
+      auto offset = parse_u64(tokens[3]);
+      if (!offset.is_ok()) return offset.status();
+      auto len = parse_u64(tokens[4]);
+      if (!len.is_ok()) return len.status();
+      std::uint64_t seed = 1;
+      if (tokens.size() >= 6) {
+        auto parsed = parse_u64(tokens[5]);
+        if (!parsed.is_ok()) return parsed.status();
+        seed = parsed.value();
+      }
+      VDB_RETURN_IF_ERROR(db_->host().fs().flip_bits(tokens[2], offset.value(),
+                                                     len.value(), seed));
+      return "flipped bits in " + tokens[2];
     }
     return bad_syntax(command);
   }

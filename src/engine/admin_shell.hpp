@@ -14,8 +14,11 @@
 //   ALTER ROLLBACK SEGMENT <n> {ONLINE | OFFLINE}
 //   ARCHIVE LOG LIST
 //   SHOW {TABLES | DATAFILES | TABLESPACES}
+//   VERIFY                  -- DBVERIFY: checksum every datafile block
 //   HOST RM <path>          -- OS escape: delete a file
 //   HOST CORRUPT <path>     -- OS escape: corrupt a file in place
+//   HOST FLIPBITS <path> <offset> <len> [seed]
+//                           -- OS escape: silently flip bits in place
 #pragma once
 
 #include <string>

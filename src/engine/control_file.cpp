@@ -1,5 +1,7 @@
 #include "engine/control_file.hpp"
 
+#include <cstdio>
+
 namespace vdb::engine {
 
 namespace {
@@ -163,14 +165,24 @@ Result<ControlFileData> ControlFile::read(
     auto len = dec.get_u32();
     if (!magic.is_ok() || !crc.is_ok() || !len.is_ok() ||
         magic.value() != kControlMagic || dec.remaining() < len.value()) {
-      last = make_error(ErrorCode::kCorruption, "bad control file: " + path);
+      char detail[96];
+      std::snprintf(detail, sizeof(detail),
+                    " (offset 0: bad header, magic=%08x expected=%08x)",
+                    magic.is_ok() ? magic.value() : 0u, kControlMagic);
+      last = make_error(ErrorCode::kCorruption,
+                        "bad control file: " + path + detail);
       continue;
     }
     std::span<const std::uint8_t> body{bytes.value().data() + 12,
                                        len.value()};
-    if (crc32c(body) != crc.value()) {
+    const std::uint32_t actual = crc32c(body);
+    if (actual != crc.value()) {
+      char detail[96];
+      std::snprintf(detail, sizeof(detail),
+                    " (offset 12, %u bytes: expected crc32c=%08x actual=%08x)",
+                    len.value(), crc.value(), actual);
       last = make_error(ErrorCode::kCorruption,
-                        "control file checksum mismatch: " + path);
+                        "control file checksum mismatch: " + path + detail);
       continue;
     }
     Decoder body_dec(body);

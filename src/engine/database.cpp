@@ -65,6 +65,8 @@ Status Database::startup() {
     if (!recovered.is_ok()) return recovered.status();
   }
 
+  if (post_recovery_hook_) VDB_RETURN_IF_ERROR(post_recovery_hook_(*this));
+
   if (on_mounted_) on_mounted_(*this);
   VDB_RETURN_IF_ERROR(rebuild_object_state());
 
@@ -212,6 +214,9 @@ Status Database::handle_store_failures(
     } else if (st.code() == ErrorCode::kOffline) {
       // Dirty buffers of freshly-offlined files were already discarded.
       storage_->cache().discard_file(pid.file);
+    } else if (st.code() == ErrorCode::kTransientIo) {
+      // Retry budget exhausted on a background write. The frame stayed
+      // dirty; the next checkpoint sweep retries once the glitch passes.
     } else {
       return st;
     }
@@ -944,7 +949,8 @@ Result<Lsn> Database::instance_recovery() {
         Status st = apply_record(rec);
         if (!st.is_ok() && st.code() != ErrorCode::kMediaFailure &&
             st.code() != ErrorCode::kOffline &&
-            st.code() != ErrorCode::kNotFound) {
+            st.code() != ErrorCode::kNotFound &&
+            st.code() != ErrorCode::kCorruption) {
           inner = st;
           return false;
         }

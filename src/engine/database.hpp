@@ -178,6 +178,14 @@ class Database {
     on_mounted_ = std::move(fn);
   }
 
+  /// Invoked during startup() right after instance recovery and before
+  /// object state is rebuilt — the window where block media recovery can
+  /// repair pages that crash replay flagged corrupt (torn writes) before
+  /// the rebuild scan reads them. A returned error aborts startup.
+  void set_post_recovery_hook(std::function<Status(Database&)> fn) {
+    post_recovery_hook_ = std::move(fn);
+  }
+
   // --- recovery collaboration --------------------------------------------------
 
   /// Applies one redo record with page-LSN idempotency guards. DDL records
@@ -275,6 +283,7 @@ class Database {
   std::unordered_map<std::uint32_t, std::vector<RowObserver>> observers_;
   RebuildRowHook rebuild_hook_;
   std::function<void(Database&)> on_mounted_;
+  std::function<Status(Database&)> post_recovery_hook_;
   sim::EventHandle ckpt_timer_;
   EngineStats stats_;
   std::uint64_t last_archived_seq_ = 0;

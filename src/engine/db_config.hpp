@@ -34,6 +34,9 @@ struct CostModel {
   SimDuration instance_shutdown = 2 * kSecond;
   /// Per-restored-file fixed cost during restore from backup.
   SimDuration restore_file_overhead = 2 * kSecond;
+  /// Per-block fixed cost for online block media recovery (RMAN
+  /// BLOCKRECOVER: locate the block in the backup set and validate it).
+  SimDuration restore_block_overhead = 200 * kMillisecond;
 };
 
 struct DatabaseConfig {

@@ -9,10 +9,11 @@ namespace vdb::engine {
 namespace {
 
 bool skippable(ErrorCode code) {
-  // Records touching deleted/offline files are skipped; media recovery
-  // brings those files forward later (same set every replay driver uses).
+  // Records touching deleted/offline/corrupt files are skipped; media
+  // recovery (whole-file or per-block) brings those forward later (same set
+  // every replay driver uses).
   return code == ErrorCode::kMediaFailure || code == ErrorCode::kOffline ||
-         code == ErrorCode::kNotFound;
+         code == ErrorCode::kNotFound || code == ErrorCode::kCorruption;
 }
 
 }  // namespace

@@ -18,6 +18,11 @@ const char* to_string(ExtendedFaultType t) {
     case ExtendedFaultType::kRollbackSegmentOffline:
       return "Rollback segment offline";
     case ExtendedFaultType::kKillUserSession: return "Kill user session";
+    case ExtendedFaultType::kSilentPageCorruption:
+      return "Silent page corruption";
+    case ExtendedFaultType::kTornPageWrite: return "Torn page write";
+    case ExtendedFaultType::kTransientIoErrors:
+      return "Transient I/O errors";
   }
   return "?";
 }
@@ -28,6 +33,8 @@ bool is_latent(ExtendedFaultType t) {
     case ExtendedFaultType::kDestroyBackups:
     case ExtendedFaultType::kCorruptControlFile:
     case ExtendedFaultType::kDeleteRedoMember:
+    case ExtendedFaultType::kSilentPageCorruption:
+    case ExtendedFaultType::kTornPageWrite:
       return true;
     default:
       return false;
@@ -87,6 +94,53 @@ Status ExtendedFaultInjector::inject(engine::Database& db,
       // between transactions this is a pure availability blip, which is
       // why the paper groups it under memory & process administration.
       return Status::ok();
+
+    case ExtendedFaultType::kSilentPageCorruption: {
+      FaultSpec target;
+      target.tablespace = spec.tablespace;
+      target.datafile_index = spec.datafile_index;
+      auto fid = FaultInjector::target_datafile(db, target);
+      if (!fid.is_ok()) return fid.status();
+      auto info = db.storage().file_info(fid.value());
+      if (!info.is_ok()) return info.status();
+      const std::uint32_t block =
+          info.value()->high_water > 0
+              ? spec.page_block % info.value()->high_water
+              : spec.page_block;
+      last_target_page_ = PageId{fid.value(), block};
+      // Mangle bytes past the page header so the damage lands in live
+      // content; the stored CRC no longer matches and the next fetch miss
+      // flags the block.
+      return fs.flip_bits(
+          info.value()->path,
+          static_cast<std::uint64_t>(block) * storage::Page::kSize + 64,
+          spec.flip_bytes, spec.rng_seed);
+    }
+
+    case ExtendedFaultType::kTornPageWrite: {
+      FaultSpec target;
+      target.tablespace = spec.tablespace;
+      target.datafile_index = spec.datafile_index;
+      auto fid = FaultInjector::target_datafile(db, target);
+      if (!fid.is_ok()) return fid.status();
+      auto info = db.storage().file_info(fid.value());
+      if (!info.is_ok()) return info.status();
+      return fs.tear_next_write(info.value()->path, spec.torn_keep_bytes);
+    }
+
+    case ExtendedFaultType::kTransientIoErrors: {
+      FaultSpec target;
+      target.tablespace = spec.tablespace;
+      target.datafile_index = spec.datafile_index;
+      auto fid = FaultInjector::target_datafile(db, target);
+      if (!fid.is_ok()) return fid.status();
+      auto info = db.storage().file_info(fid.value());
+      if (!info.is_ok()) return info.status();
+      fs.inject_transient_errors(info.value()->path,
+                                 fs.clock().now() + spec.error_window,
+                                 spec.error_probability, spec.rng_seed);
+      return Status::ok();
+    }
   }
   return make_error(ErrorCode::kInvalidArgument, "unknown extended fault");
 }

@@ -41,8 +41,19 @@ enum class ExtendedFaultType : std::uint8_t {
   /// Memory & processes: kill a user session (transient; the affected
   /// transaction aborts and the terminal reconnects).
   kKillUserSession,
+  /// Storage hardware: silently flip bits inside one page of a datafile —
+  /// LATENT: reads keep succeeding until the block checksum is verified on
+  /// the next fetch miss. Repairable by online block media recovery.
+  kSilentPageCorruption,
+  /// Storage hardware: the next page write persists only a sector prefix
+  /// (write torn by a crash) — LATENT until the block is read back.
+  kTornPageWrite,
+  /// Storage hardware: a window of probabilistic transient I/O errors on
+  /// the datafile (cabling/controller glitch). Absorbed by the bounded
+  /// retry policy when below its budget.
+  kTransientIoErrors,
 };
-constexpr size_t kExtendedFaultTypeCount = 8;
+constexpr size_t kExtendedFaultTypeCount = 11;
 const char* to_string(ExtendedFaultType t);
 
 /// Faults that are latent: they have no user-visible effect until a second
@@ -61,6 +72,18 @@ struct ExtendedFaultSpec {
   /// kTablespaceOutOfSpace: the quota the careless operator leaves in
   /// place, in blocks.
   std::uint32_t quota_blocks = 1;
+  /// kSilentPageCorruption: block of the target datafile to damage (capped
+  /// to the file's formatted blocks).
+  std::uint32_t page_block = 0;
+  /// kSilentPageCorruption: how many bytes of the page get mangled.
+  std::uint64_t flip_bytes = 16;
+  /// kTornPageWrite: how much of the page write hits the platter.
+  std::uint64_t torn_keep_bytes = 512;
+  /// kTransientIoErrors: window length and per-I/O failure probability.
+  SimDuration error_window = 30 * kSecond;
+  double error_probability = 0.2;
+  /// Seed for the storage faults' random draws (reproducible runs).
+  std::uint64_t rng_seed = 0xB10CFA17;
 };
 
 class ExtendedFaultInjector {
@@ -72,8 +95,14 @@ class ExtendedFaultInjector {
   /// uses. Latent faults return OK and leave no immediate trace.
   Status inject(engine::Database& db, const ExtendedFaultSpec& spec);
 
+  /// Page targeted by the last kSilentPageCorruption injection (invalid for
+  /// other types) — lets a harness evict the cached copy to model the cache
+  /// pressure that exposes the damage.
+  PageId last_target_page() const { return last_target_page_; }
+
  private:
   recovery::BackupManager* backups_;
+  PageId last_target_page_ = PageId::invalid();
 };
 
 }  // namespace vdb::faults

@@ -73,6 +73,40 @@ Status BackupManager::restore_datafile(engine::Database& db, FileId id) {
                     "no backup contains datafile " + std::to_string(id.value));
 }
 
+Result<Lsn> BackupManager::restore_block(engine::Database& db, PageId pid) {
+  for (auto it = sets_.rbegin(); it != sets_.rend(); ++it) {
+    for (const auto& entry : it->files) {
+      if (entry.id != pid.file) continue;
+      if (!fs_->exists(entry.backup_path)) {
+        return make_error(ErrorCode::kUnrecoverable,
+                          "backup copy missing: " + entry.backup_path);
+      }
+      const std::uint64_t offset =
+          static_cast<std::uint64_t>(pid.block) * storage::Page::kSize;
+      std::vector<std::uint8_t> image(storage::Page::kSize, 0);
+      VDB_ASSIGN_OR_RETURN(std::uint64_t backup_size,
+                           fs_->size(entry.backup_path));
+      if (offset < backup_size) {
+        const std::uint64_t n =
+            std::min<std::uint64_t>(storage::Page::kSize, backup_size - offset);
+        VDB_ASSIGN_OR_RETURN(
+            std::vector<std::uint8_t> bytes,
+            fs_->read(entry.backup_path, offset, n, sim::IoMode::kForeground));
+        std::copy(bytes.begin(), bytes.end(), image.begin());
+      }
+      // else: the block did not exist at backup time — a virgin image lets
+      // redo replay re-format it.
+      VDB_RETURN_IF_ERROR(fs_->write(entry.original_path, offset, image,
+                                     sim::IoMode::kForeground));
+      (void)db;
+      return it->backup_lsn;
+    }
+  }
+  return make_error(
+      ErrorCode::kUnrecoverable,
+      "no backup contains datafile " + std::to_string(pid.file.value));
+}
+
 Result<BackupSet> BackupManager::restore_all(sim::SimFs& fs) {
   if (sets_.empty()) {
     return Status{ErrorCode::kUnrecoverable, "no backups exist"};

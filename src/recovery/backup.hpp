@@ -49,6 +49,12 @@ class BackupManager {
   /// marks it as needing recovery from the backup LSN.
   Status restore_datafile(engine::Database& db, FileId id);
 
+  /// Block media recovery restore step: copies just one block's image out
+  /// of the newest backup set into the live datafile (which stays online)
+  /// and returns the LSN to roll that block forward from. A block past the
+  /// backup image's end restores as a virgin page for redo to re-format.
+  Result<Lsn> restore_block(engine::Database& db, PageId pid);
+
   /// Restores every datafile of the newest set into place (point-in-time
   /// recovery), returning that set.
   Result<BackupSet> restore_all(sim::SimFs& fs);

@@ -24,6 +24,21 @@ std::function<bool(const wal::LogRecord&)> file_filter(FileId id) {
   };
 }
 
+std::function<bool(const wal::LogRecord&)> page_filter(PageId id) {
+  return [id](const wal::LogRecord& rec) {
+    switch (rec.type) {
+      case wal::LogRecordType::kFormatPage:
+        return rec.page == id;
+      case wal::LogRecordType::kInsert:
+      case wal::LogRecordType::kUpdate:
+      case wal::LogRecordType::kDelete:
+        return rec.dml.rid.page == id;
+      default:
+        return false;
+    }
+  };
+}
+
 std::function<bool(const wal::LogRecord&)> stop_before_drop_table(
     const std::string& name) {
   return [name](const wal::LogRecord& rec) {
@@ -61,7 +76,11 @@ Result<std::pair<std::uint64_t, Lsn>> read_log_header(sim::SimFs& fs,
   auto seq = dec.get_u64();
   auto start = dec.get_u64();
   if (!magic.is_ok() || !seq.is_ok() || !start.is_ok()) {
-    return Status{ErrorCode::kCorruption, "bad log header: " + path};
+    char detail[64];
+    std::snprintf(detail, sizeof(detail),
+                  " (offset 0, %zu-byte header, magic=%08x)", kGroupHeaderSize,
+                  magic.is_ok() ? magic.value() : 0u);
+    return Status{ErrorCode::kCorruption, "bad log header: " + path + detail};
   }
   return std::make_pair(seq.value(), start.value());
 }
@@ -177,7 +196,8 @@ Result<RecoveryReport> RecoveryManager::replay_from(
           if (!st.is_ok()) {
             if (st.code() != ErrorCode::kOffline &&
                 st.code() != ErrorCode::kMediaFailure &&
-                st.code() != ErrorCode::kNotFound) {
+                st.code() != ErrorCode::kNotFound &&
+                st.code() != ErrorCode::kCorruption) {
               inner = st;
               return false;
             }
@@ -305,6 +325,39 @@ Result<RecoveryReport> RecoveryManager::recover_datafile_online(
   db.set_recovering(false);
   VDB_RETURN_IF_ERROR(db.alter_datafile_online(id));
   VDB_RETURN_IF_ERROR(db.resolve_in_doubt_transactions());
+  report.value().recovered_to = db.redo().flushed_lsn();
+  return report;
+}
+
+Result<RecoveryReport> RecoveryManager::recover_block(engine::Database& db,
+                                                      PageId pid) {
+  const engine::CostModel& cost = db.config().cost;
+
+  // A cached copy of the block (clean or damaged) would mask the restored
+  // image the roll-forward is about to build.
+  db.storage().cache().discard_page(pid);
+
+  // 1. Restore just this block's image from the newest backup.
+  db.clock().advance_by(cost.restore_block_overhead);
+  VDB_ASSIGN_OR_RETURN(Lsn from, backups_->restore_block(db, pid));
+
+  // 2. Roll the single block forward through archived + online redo. The
+  //    page filter selects only page-change records, so no DDL barriers
+  //    fire and the datafile — and the instance — stay fully available.
+  auto report = replay_from(db, from, page_filter(pid), nullptr);
+  if (!report.is_ok()) return report;
+  if (!report.value().complete) {
+    return Status{ErrorCode::kUnrecoverable,
+                  "redo chain incomplete for block recovery at " +
+                      vdb::to_string(pid)};
+  }
+  report.value().blocks_restored = 1;
+
+  // 3. Make the repair durable: the rebuild scan and later reads hit the
+  //    raw datafile, not just the cache.
+  auto flush = db.storage().cache().flush_file(pid.file);
+  if (!flush.failures.empty()) return flush.failures.front().second;
+  db.storage().clear_corrupt_block(pid);
   report.value().recovered_to = db.redo().flushed_lsn();
   return report;
 }

@@ -39,6 +39,8 @@ struct RecoveryReport {
   std::uint64_t records_skipped = 0;
   std::uint64_t archives_read = 0;
   std::uint64_t files_restored = 0;
+  /// Single blocks repaired by online block media recovery.
+  std::uint64_t blocks_restored = 0;
 };
 
 class RecoveryManager {
@@ -58,6 +60,14 @@ class RecoveryManager {
   /// brings it online (no restore needed).
   Result<RecoveryReport> recover_datafile_online(engine::Database& db,
                                                  FileId id);
+
+  /// Online block media recovery (RMAN BLOCKRECOVER analogue): restores one
+  /// confirmed-corrupt block from the newest backup and rolls just that
+  /// block forward through archived + online redo. The datafile stays
+  /// online throughout — other transactions keep committing. Also usable
+  /// from the post-recovery startup hook to repair torn writes before the
+  /// rebuild scan.
+  Result<RecoveryReport> recover_block(engine::Database& db, PageId pid);
 
   /// Point-in-time (incomplete) recovery: restore every datafile from the
   /// newest backup, replay archived + online redo and stop immediately
@@ -101,6 +111,9 @@ class RecoveryManager {
 
 /// Filter: records that touch one datafile (page formats + row changes).
 std::function<bool(const wal::LogRecord&)> file_filter(FileId id);
+
+/// Filter: records that touch one page (its format + its row changes).
+std::function<bool(const wal::LogRecord&)> page_filter(PageId id);
 
 /// Stop predicates for the paper's incomplete-recovery faults.
 std::function<bool(const wal::LogRecord&)> stop_before_drop_table(

@@ -28,6 +28,8 @@ struct DiskStats {
   std::uint64_t requests = 0;
   std::uint64_t bytes = 0;
   SimDuration busy_time = 0;
+  /// Requests that failed with a transient device error (fault injection).
+  std::uint64_t transient_errors = 0;
 };
 
 class Disk {
@@ -48,6 +50,10 @@ class Disk {
   SimTime busy_until() const { return busy_until_; }
 
   void reset_stats() { stats_ = {}; }
+
+  /// Records a transiently failed request (counted, not charged: the device
+  /// errored out instead of doing the transfer).
+  void note_transient_error() { ++stats_.transient_errors; }
 
  private:
   DiskId id_;

@@ -27,7 +27,7 @@ Status SimFs::create(const std::string& path) {
   if (disk == nullptr) {
     return make_error(ErrorCode::kInvalidArgument, "no mount for: " + path);
   }
-  files_[path] = File{disk, {}, 0, false};
+  files_[path] = File{disk, {}, 0, {}, kNoTear};
   return Status::ok();
 }
 
@@ -42,16 +42,103 @@ Status SimFs::remove(const std::string& path) {
   return Status::ok();
 }
 
-Status SimFs::corrupt(const std::string& path) {
+namespace {
+
+/// End of [offset, offset+len) with saturation (len may be kWholeFile).
+std::uint64_t range_end(std::uint64_t offset, std::uint64_t len) {
+  constexpr std::uint64_t kMax = ~std::uint64_t{0};
+  return len > kMax - offset ? kMax : offset + len;
+}
+
+}  // namespace
+
+Status SimFs::corrupt_range(const std::string& path, std::uint64_t offset,
+                            std::uint64_t len) {
   auto file = find(path);
   if (!file.is_ok()) return file.status();
-  file.value()->corrupted = true;
+  if (len == 0) return Status::ok();
+  file.value()->corrupt.push_back(CorruptRange{offset, len});
   return Status::ok();
+}
+
+Status SimFs::corrupt(const std::string& path) {
+  return corrupt_range(path, 0, kWholeFile);
 }
 
 bool SimFs::is_corrupted(const std::string& path) const {
   auto file = find(path);
-  return file.is_ok() && file.value()->corrupted;
+  return file.is_ok() && !file.value()->corrupt.empty();
+}
+
+Status SimFs::flip_bits(const std::string& path, std::uint64_t offset,
+                        std::uint64_t len, std::uint64_t seed) {
+  auto file = find(path);
+  if (!file.is_ok()) return file.status();
+  File& f = *file.value();
+  if (offset >= f.data.size()) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "flip_bits past end of " + path);
+  }
+  const std::uint64_t end = std::min<std::uint64_t>(range_end(offset, len),
+                                                    f.data.size());
+  Rng rng(seed);
+  for (std::uint64_t i = offset; i < end; ++i) {
+    f.data[i] ^= static_cast<std::uint8_t>(rng.uniform(1, 255));
+  }
+  return Status::ok();
+}
+
+Status SimFs::tear_next_write(const std::string& path,
+                              std::uint64_t keep_bytes) {
+  auto file = find(path);
+  if (!file.is_ok()) return file.status();
+  file.value()->torn_keep = keep_bytes;
+  return Status::ok();
+}
+
+void SimFs::inject_transient_errors(std::string prefix, SimTime until,
+                                    double probability, std::uint64_t seed) {
+  transient_ = TransientFault{std::move(prefix), until, probability,
+                              Rng(seed)};
+}
+
+void SimFs::clear_transient_errors() { transient_.reset(); }
+
+bool SimFs::transient_hit(const std::string& path, Disk* disk) {
+  if (!transient_.has_value()) return false;
+  if (clock_->now() > transient_->until) {
+    transient_.reset();  // the glitch window has passed
+    return false;
+  }
+  const std::string& prefix = transient_->prefix;
+  if (path.compare(0, prefix.size(), prefix) != 0) return false;
+  if (!transient_->rng.chance(transient_->probability)) return false;
+  if (disk != nullptr) disk->note_transient_error();
+  return true;
+}
+
+const SimFs::CorruptRange* SimFs::overlap(const File& f, std::uint64_t offset,
+                                          std::uint64_t len) {
+  const std::uint64_t end = range_end(offset, len);
+  for (const CorruptRange& r : f.corrupt) {
+    const std::uint64_t rend = range_end(r.offset, r.len);
+    if (r.offset < end && offset < rend) return &r;
+  }
+  return nullptr;
+}
+
+void SimFs::heal(File& f, std::uint64_t offset, std::uint64_t end) {
+  std::vector<CorruptRange> keep;
+  for (const CorruptRange& r : f.corrupt) {
+    const std::uint64_t rend = range_end(r.offset, r.len);
+    if (rend <= offset || r.offset >= end) {
+      keep.push_back(r);
+      continue;
+    }
+    if (r.offset < offset) keep.push_back(CorruptRange{r.offset, offset - r.offset});
+    if (rend > end) keep.push_back(CorruptRange{end, rend - end});
+  }
+  f.corrupt = std::move(keep);
 }
 
 Result<std::uint64_t> SimFs::size(const std::string& path) const {
@@ -81,8 +168,21 @@ Status SimFs::write(const std::string& path, std::uint64_t offset,
   auto file = find(path);
   if (!file.is_ok()) return file.status();
   File& f = *file.value();
+  if (transient_hit(path, f.disk)) {
+    return make_error(ErrorCode::kTransientIo,
+                      "transient write error on " + path);
+  }
+  // An armed torn write persists only its sector prefix; the caller still
+  // sees OK (the OS acknowledged from cache before the crash).
+  std::uint64_t persisted = data.size();
+  if (f.torn_keep != kNoTear) {
+    persisted = std::min<std::uint64_t>(f.torn_keep, data.size());
+    f.torn_keep = kNoTear;
+  }
   if (f.data.size() < offset + data.size()) f.data.resize(offset + data.size());
-  std::copy(data.begin(), data.end(), f.data.begin() + static_cast<long>(offset));
+  std::copy(data.begin(), data.begin() + static_cast<long>(persisted),
+            f.data.begin() + static_cast<long>(offset));
+  heal(f, offset, offset + persisted);
   f.charged = std::max<std::uint64_t>(f.charged, f.data.size());
   charge(f.disk, data.size(), mode, sequential);
   return Status::ok();
@@ -94,6 +194,10 @@ Status SimFs::append(const std::string& path,
   auto file = find(path);
   if (!file.is_ok()) return file.status();
   File& f = *file.value();
+  if (transient_hit(path, f.disk)) {
+    return make_error(ErrorCode::kTransientIo,
+                      "transient write error on " + path);
+  }
   f.data.insert(f.data.end(), data.begin(), data.end());
   const std::uint64_t charged =
       charge_bytes == kChargeActual ? data.size() : charge_bytes;
@@ -114,9 +218,18 @@ Result<std::vector<std::uint8_t>> SimFs::read(const std::string& path,
                                               bool sequential) {
   auto file = find(path);
   if (!file.is_ok()) return file.status();
-  const File& f = *file.value();
-  if (f.corrupted) {
-    return make_error(ErrorCode::kCorruption, "corrupted file: " + path);
+  File& f = *file.value();
+  if (transient_hit(path, f.disk)) {
+    return make_error(ErrorCode::kTransientIo,
+                      "transient read error on " + path);
+  }
+  if (const CorruptRange* r = overlap(f, offset, len)) {
+    return make_error(ErrorCode::kCorruption,
+                      "corrupted file: " + path + " at offset " +
+                          std::to_string(r->offset) +
+                          (r->len == kWholeFile
+                               ? std::string(" (whole file)")
+                               : " (" + std::to_string(r->len) + " bytes)"));
   }
   if (offset + len > f.data.size()) {
     return make_error(ErrorCode::kInvalidArgument,
@@ -133,9 +246,18 @@ Result<std::vector<std::uint8_t>> SimFs::read_all(const std::string& path,
                                                   IoMode mode) {
   auto file = find(path);
   if (!file.is_ok()) return file.status();
-  const File& f = *file.value();
-  if (f.corrupted) {
-    return make_error(ErrorCode::kCorruption, "corrupted file: " + path);
+  File& f = *file.value();
+  if (transient_hit(path, f.disk)) {
+    return make_error(ErrorCode::kTransientIo,
+                      "transient read error on " + path);
+  }
+  if (const CorruptRange* r = overlap(f, 0, kWholeFile)) {
+    return make_error(ErrorCode::kCorruption,
+                      "corrupted file: " + path + " at offset " +
+                          std::to_string(r->offset) +
+                          (r->len == kWholeFile
+                               ? std::string(" (whole file)")
+                               : " (" + std::to_string(r->len) + " bytes)"));
   }
   std::vector<std::uint8_t> out = f.data;
   charge(f.disk, f.charged, mode, /*sequential=*/true);
@@ -147,6 +269,8 @@ Status SimFs::truncate(const std::string& path, std::uint64_t new_size) {
   if (!file.is_ok()) return file.status();
   file.value()->data.resize(new_size);
   file.value()->charged = new_size;
+  // Bytes past the new end no longer exist; drop their corrupt ranges.
+  heal(*file.value(), new_size, ~std::uint64_t{0});
   return Status::ok();
 }
 
@@ -154,8 +278,14 @@ Status SimFs::copy(const std::string& src, const std::string& dst,
                    IoMode mode) {
   auto sfile = find(src);
   if (!sfile.is_ok()) return sfile.status();
-  if (sfile.value()->corrupted) {
-    return make_error(ErrorCode::kCorruption, "corrupted file: " + src);
+  if (const CorruptRange* r = overlap(*sfile.value(), 0, kWholeFile)) {
+    return make_error(ErrorCode::kCorruption,
+                      "corrupted file: " + src + " at offset " +
+                          std::to_string(r->offset));
+  }
+  if (transient_hit(src, sfile.value()->disk)) {
+    return make_error(ErrorCode::kTransientIo,
+                      "transient read error on " + src);
   }
   if (!files_.contains(dst)) {
     VDB_RETURN_IF_ERROR(create(dst));
@@ -164,9 +294,14 @@ Status SimFs::copy(const std::string& src, const std::string& dst,
   // node ordering (std::map nodes are stable, but be explicit and safe).
   File& s = *find(src).value();
   File& d = *find(dst).value();
+  if (transient_hit(dst, d.disk)) {
+    return make_error(ErrorCode::kTransientIo,
+                      "transient write error on " + dst);
+  }
   d.data = s.data;
   d.charged = s.charged;
-  d.corrupted = false;
+  d.corrupt.clear();
+  d.torn_keep = kNoTear;
   charge(s.disk, s.charged, mode, /*sequential=*/true);
   charge(d.disk, d.charged, mode, /*sequential=*/true);
   return Status::ok();

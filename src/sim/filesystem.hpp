@@ -2,18 +2,21 @@
 //
 // Database files (control file, datafiles, online redo logs, archived logs,
 // backups) live here as named byte arrays placed on simulated disks via
-// mount points. This is also the surface the operator-fault injector uses:
-// deleting or corrupting a datafile is a real remove()/corrupt() on this
-// filesystem, exactly like an `rm` issued by a careless administrator.
+// mount points. This is also the surface the fault injector uses: operator
+// faults are real remove()/corrupt_range() calls, and the storage faultload
+// (silent bit flips, torn writes, transient device errors) mangles the same
+// byte arrays the engine persists to.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "common/status.hpp"
 #include "common/types.hpp"
 #include "sim/disk.hpp"
@@ -37,10 +40,37 @@ class SimFs {
   bool exists(const std::string& path) const;
   Status remove(const std::string& path);
 
-  /// Marks the file corrupted; subsequent reads fail with kCorruption.
-  /// This models an operator overwriting / mangling a file in place.
+  static constexpr std::uint64_t kWholeFile = ~std::uint64_t{0};
+
+  /// Marks [offset, offset+len) corrupted; reads overlapping the range fail
+  /// with kCorruption. Models an operator (or firmware) mangling bytes in
+  /// place in a way the device itself reports. Overwriting the bytes heals
+  /// the overlapped portion of the range.
+  Status corrupt_range(const std::string& path, std::uint64_t offset,
+                       std::uint64_t len);
+
+  /// Whole-file corruption (legacy operator-fault surface).
   Status corrupt(const std::string& path);
   bool is_corrupted(const std::string& path) const;
+
+  /// Silent fault: XORs each byte of [offset, offset+len) with a non-zero
+  /// mask drawn from a seeded Rng. Reads keep succeeding — only a content
+  /// checksum can tell the data went bad.
+  Status flip_bits(const std::string& path, std::uint64_t offset,
+                   std::uint64_t len, std::uint64_t seed);
+
+  /// Arms a torn write: the NEXT write() to `path` persists only the first
+  /// `keep_bytes` bytes of its buffer (the sectors that hit the platter
+  /// before the crash), then the arm clears. The caller still sees OK — the
+  /// OS acknowledged the write from its cache.
+  Status tear_next_write(const std::string& path, std::uint64_t keep_bytes);
+
+  /// Probabilistic transient device errors: until the virtual clock passes
+  /// `until`, each read/write touching a path with this prefix fails with
+  /// kTransientIo with probability `probability` (seeded, reproducible).
+  void inject_transient_errors(std::string prefix, SimTime until,
+                               double probability, std::uint64_t seed);
+  void clear_transient_errors();
 
   Result<std::uint64_t> size(const std::string& path) const;
 
@@ -85,15 +115,42 @@ class SimFs {
   VirtualClock& clock() { return *clock_; }
 
  private:
+  struct CorruptRange {
+    std::uint64_t offset = 0;
+    std::uint64_t len = 0;  // kWholeFile covers everything past offset
+  };
+
   struct File {
     Disk* disk = nullptr;
     std::vector<std::uint8_t> data;
     std::uint64_t charged = 0;  // logical size for I/O accounting
-    bool corrupted = false;
+    std::vector<CorruptRange> corrupt;
+    std::uint64_t torn_keep = kNoTear;  // armed torn-write prefix length
+  };
+
+  static constexpr std::uint64_t kNoTear = ~std::uint64_t{0};
+
+  struct TransientFault {
+    std::string prefix;
+    SimTime until = 0;
+    double probability = 0.0;
+    Rng rng;
   };
 
   /// Charges the I/O and, in foreground mode, blocks until completion.
   void charge(Disk* disk, std::uint64_t bytes, IoMode mode, bool sequential);
+
+  /// Draws a transient-error verdict for an I/O on `path` (expires the
+  /// injection window as a side effect).
+  bool transient_hit(const std::string& path, Disk* disk);
+
+  /// First corrupt range overlapping [offset, offset+len), if any.
+  static const CorruptRange* overlap(const File& f, std::uint64_t offset,
+                                     std::uint64_t len);
+
+  /// Removes [offset, end) from the file's corrupt ranges (fresh bytes were
+  /// written over them).
+  static void heal(File& f, std::uint64_t offset, std::uint64_t end);
 
   Result<File*> find(const std::string& path);
   Result<const File*> find(const std::string& path) const;
@@ -101,6 +158,7 @@ class SimFs {
   VirtualClock* clock_;
   std::map<std::string, Disk*, std::greater<>> mounts_;  // longest prefix first
   std::map<std::string, File> files_;
+  std::optional<TransientFault> transient_;
 };
 
 }  // namespace vdb::sim

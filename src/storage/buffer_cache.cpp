@@ -258,6 +258,19 @@ void BufferCache::discard_file(FileId file) {
   last_id_ = PageId::invalid();
 }
 
+void BufferCache::discard_page(PageId id) {
+  auto it = frames_.find(id);
+  if (it == frames_.end()) return;
+  VDB_CHECK_MSG(it->second->pins == 0, "discarding pinned page");
+  if (it->second.get() == last_frame_) {
+    last_frame_ = nullptr;
+    last_id_ = PageId::invalid();
+  }
+  frames_.erase(it);
+  // A stale id may linger in the dirty runs; the sweep helpers already skip
+  // entries whose frame is gone or clean.
+}
+
 void BufferCache::discard_all() {
   for (auto& [id, frame] : frames_) {
     VDB_CHECK_MSG(frame->pins == 0, "discarding pinned page");

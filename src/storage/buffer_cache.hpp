@@ -125,6 +125,11 @@ class BufferCache {
   /// file later needs redo recovery). Pinned frames must not exist.
   void discard_file(FileId file);
 
+  /// Drops one frame without writing it (block media recovery about to
+  /// replace the on-disk block: a cached copy would mask the repair). No-op
+  /// when the page is not cached; the page must not be pinned.
+  void discard_page(PageId id);
+
   /// Drops every frame (instance shutdown abort: cache contents vanish).
   void discard_all();
 

@@ -81,6 +81,12 @@ bool Page::verify_checksum() const {
   return get_u32(0) == crc32c({buf_.data() + 4, kSize - 4});
 }
 
+std::uint32_t Page::stored_checksum() const { return get_u32(0); }
+
+std::uint32_t Page::computed_checksum() const {
+  return crc32c({buf_.data() + 4, kSize - 4});
+}
+
 std::uint16_t Page::get_u16(size_t off) const {
   std::uint16_t v;
   std::memcpy(&v, buf_.data() + off, sizeof(v));

@@ -74,6 +74,12 @@ class Page {
   /// pages verify trivially.
   bool verify_checksum() const;
 
+  /// Checksum recorded in the header (what the writer computed).
+  std::uint32_t stored_checksum() const;
+
+  /// Checksum of the current contents (what a verifier computes).
+  std::uint32_t computed_checksum() const;
+
  private:
   size_t bitmap_offset() const { return kHeaderBase; }
   size_t bitmap_bytes() const { return (capacity() + 7) / 8; }

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -56,9 +57,41 @@ struct TablespaceInfo {
   bool dropped = false;
 };
 
+/// Bounded exponential backoff for transient device errors. A read/write
+/// that fails with kTransientIo is retried up to max_attempts times total,
+/// sleeping (on the simulated clock) initial_backoff, then initial_backoff *
+/// multiplier, and so on, between attempts. Exhaustion surfaces the error.
+struct IoRetryPolicy {
+  std::uint32_t max_attempts = 4;
+  SimDuration initial_backoff = 2 * kMillisecond;
+  std::uint32_t multiplier = 4;
+};
+
+struct IoRetryStats {
+  std::uint64_t attempts = 0;   // I/O calls issued (including retries)
+  std::uint64_t retries = 0;    // transient failures absorbed by retrying
+  std::uint64_t exhausted = 0;  // operations that ran out of attempts
+};
+
 struct StorageParams {
   std::uint32_t cache_pages = 2048;   // 16 MiB with 8 KiB pages
   std::uint32_t extent_blocks = 16;   // file growth unit
+  IoRetryPolicy retry;
+};
+
+/// One corrupt block found by verify_file() (DBVERIFY-style scan).
+struct BadBlock {
+  PageId page = PageId::invalid();
+  std::string path;
+  std::uint64_t offset = 0;        // byte offset of the block in the file
+  std::uint32_t expected_crc = 0;  // checksum stored in the page header
+  std::uint32_t actual_crc = 0;    // checksum of the actual contents
+  Status error;                    // why the block is bad
+};
+
+struct VerifyReport {
+  std::uint64_t blocks_scanned = 0;
+  std::vector<BadBlock> bad;
 };
 
 class StorageManager final : public PageStore {
@@ -140,6 +173,11 @@ class StorageManager final : public PageStore {
                    const std::function<void(std::uint32_t block,
                                             const Page& page)>& fn);
 
+  /// DBVERIFY analogue: reads every block of the file (sequential charge)
+  /// and checksums it, without populating the cache. Works on online and
+  /// offline files. Bad blocks are also recorded in corrupt_blocks().
+  Result<VerifyReport> verify_file(FileId id);
+
   // --- PageStore ----------------------------------------------------------
 
   Status load_page(PageId id, Page* out, sim::IoMode mode) override;
@@ -158,6 +196,14 @@ class StorageManager final : public PageStore {
   sim::SimFs& fs() { return *fs_; }
   const StorageParams& params() const { return params_; }
 
+  /// Transient-I/O retry counters (cumulative for this instance).
+  const IoRetryStats& retry_stats() const { return retry_stats_; }
+
+  /// Blocks whose checksum failed on fetch or verify, pending block media
+  /// recovery. Cleared per block once recovery repairs it.
+  const std::vector<PageId>& corrupt_blocks() const { return corrupt_blocks_; }
+  void clear_corrupt_block(PageId id);
+
   /// Sets high_water from a recovery scan.
   void set_high_water(FileId id, std::uint32_t hwm);
   Status set_recover_from(FileId id, Lsn lsn);
@@ -172,6 +218,19 @@ class StorageManager final : public PageStore {
   Result<TablespaceInfo*> ts_mut(TablespaceId id);
   Status extend_file(DataFileInfo& file, std::uint32_t add_blocks);
 
+  /// fs_->read / fs_->write wrapped in the bounded-backoff retry loop;
+  /// kTransientIo exhaustion is surfaced with the retry count appended.
+  Result<std::vector<std::uint8_t>> read_with_retry(const std::string& path,
+                                                    std::uint64_t offset,
+                                                    std::uint64_t len,
+                                                    sim::IoMode mode,
+                                                    bool sequential);
+  Status write_with_retry(const std::string& path, std::uint64_t offset,
+                          std::span<const std::uint8_t> data,
+                          sim::IoMode mode, bool sequential);
+
+  void note_corrupt(PageId id);
+
   sim::SimFs* fs_;
   StorageParams params_;
   bool recovery_mode_ = false;
@@ -179,6 +238,8 @@ class StorageManager final : public PageStore {
   std::vector<TablespaceInfo> tablespaces_;
   std::vector<DataFileInfo> files_;
   std::unordered_map<TablespaceId, std::uint32_t> alloc_cursor_;  // round robin
+  IoRetryStats retry_stats_;
+  std::vector<PageId> corrupt_blocks_;
 };
 
 }  // namespace vdb::storage

@@ -82,6 +82,19 @@ TEST_F(AdminShellTest, HostEscapes) {
   EXPECT_FALSE(env_.host.fs().exists("/data/users01.dbf"));
 }
 
+TEST_F(AdminShellTest, VerifyReportsFlippedBits) {
+  put_row(*db_->db, db_->table, "victim");
+  ASSERT_TRUE(db_->db->checkpoint_now().is_ok());
+  EXPECT_NE(run("VERIFY").find("0 corrupt block(s)"), std::string::npos);
+
+  // The silent-corruption OS escape, then DBVERIFY catches it.
+  run("HOST FLIPBITS /data/users01.dbf 100 16 7");
+  const std::string out = run("VERIFY");
+  EXPECT_NE(out.find("1 corrupt block(s)"), std::string::npos);
+  EXPECT_NE(out.find("block 0"), std::string::npos);
+  EXPECT_NE(out.find("checksum mismatch"), std::string::npos);
+}
+
 TEST_F(AdminShellTest, ArchiveLogList) {
   const std::string out = run("ARCHIVE LOG LIST");
   EXPECT_NE(out.find("NOARCHIVELOG"), std::string::npos);
