@@ -209,7 +209,7 @@ class BenchRun {
           "\"recovery_seconds\": %s, \"lost_committed\": %llu, "
           "\"integrity_violations\": %u, \"io_retries\": %llu, "
           "\"io_retry_exhausted\": %llu, \"bad_blocks_found\": %llu, "
-          "\"blocks_repaired\": %llu}",
+          "\"blocks_repaired\": %llu, ",
           json_num(r.tpmc).c_str(),
           static_cast<unsigned long long>(r.committed),
           static_cast<unsigned long long>(r.full_checkpoints),
@@ -224,6 +224,18 @@ class BenchRun {
           static_cast<unsigned long long>(r.io_retry_exhausted),
           static_cast<unsigned long long>(r.bad_blocks_found),
           static_cast<unsigned long long>(r.blocks_repaired));
+      // Per-phase recovery decomposition (simulated microseconds — spans
+      // tile the trace, so the non-detection values sum exactly to
+      // recovery_seconds) and the full V$-style statistics snapshot.
+      std::fprintf(f, "\"recovery_phase_us\": {");
+      for (std::size_t k = 0; k < r.recovery_phases.size(); ++k) {
+        std::fprintf(f, "%s\"%s\": %llu", k == 0 ? "" : ", ",
+                     json_escape(r.recovery_phases[k].first).c_str(),
+                     static_cast<unsigned long long>(
+                         r.recovery_phases[k].second));
+      }
+      std::fprintf(f, "}, \"metrics\": %s}",
+                   r.metrics.to_json().c_str());
     }
     std::fprintf(f, "\n  ]\n}\n");
     std::fclose(f);

@@ -61,6 +61,12 @@ int main() {
   run("ALTER TABLESPACE USERS ONLINE");
   run("SHOW TABLESPACES");
 
+  // The V$ views answer "where did the time go" for the session above.
+  std::printf("\n-- performance views --\n");
+  run("V$SYSSTAT");
+  run("SELECT * FROM V$SYSTEM_EVENT");
+  run("V$RECOVERY_PROGRESS");
+
   // Mistakes are answered with errors, not damage:
   std::printf("\n-- typos --\n");
   run("DROP TABLE ghosts");

@@ -4,16 +4,27 @@
 # results/. Wired as a ctest entry so tier-1 catches runner regressions
 # (pool wedges, collection-order bugs, missing JSON).
 #
-# Usage: bench_smoke.sh [bench-binary-dir]
+# Usage: bench_smoke.sh [bench-binary-dir] [results-out-dir]
 #   bench-binary-dir defaults to ./build/bench relative to the repo root.
+#   When results-out-dir is given, the results/*.json drops are copied
+#   there before the scratch dir is removed (CI uploads them as artifacts
+#   and validates them with scripts/check_results.py).
 set -u
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 bench_dir="${1:-$repo_root/build/bench}"
+results_out="${2:-}"
 
 if [ ! -d "$bench_dir" ]; then
   echo "bench_smoke: no such bench dir: $bench_dir" >&2
   exit 1
+fi
+# Absolutize before the cd into the scratch dir below.
+bench_dir="$(cd "$bench_dir" && pwd)"
+
+if [ -n "$results_out" ]; then
+  mkdir -p "$results_out"
+  results_out="$(cd "$results_out" && pwd)"
 fi
 
 workdir="$(mktemp -d)"
@@ -69,6 +80,11 @@ else
   else
     echo "bench_smoke: OK   bench_micro"
   fi
+fi
+
+if [ -n "$results_out" ] && [ -d results ]; then
+  cp results/bench_*.json "$results_out"/ 2>/dev/null || true
+  echo "bench_smoke: results copied to $results_out"
 fi
 
 if [ "$failed" -ne 0 ]; then

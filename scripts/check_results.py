@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Validate the machine-readable bench output in a results/ directory.
+
+Checks, per results/bench_*.json file:
+  - the file parses as JSON;
+  - bench_micro.json (google-benchmark native schema) has a non-empty
+    "benchmarks" array;
+  - every other file is a BenchRun drop: a "runs" array where every
+    successful run carries a "metrics" statistics snapshot with the
+    expected top-level sections;
+  - recovered fault runs decompose: the non-detection entries of
+    "recovery_phase_us" sum to "recovery_seconds" (the phase spans tile
+    the recovery trace, so the match is exact up to the JSON float
+    rounding of the headline).
+
+Exit status 0 = all files pass; 1 = any check failed or no files found.
+
+Usage: check_results.py [results-dir]   (default: ./results)
+"""
+
+import json
+import pathlib
+import sys
+
+METRIC_SECTIONS = ("counters", "gauges", "wait_events", "histograms",
+                   "recovery")
+# recovery_seconds is printed with 6 significant digits, so a 600 s
+# headline carries up to 5e-4 s of rounding; one simulated tick is 1e-6 s.
+HEADLINE_TOLERANCE_SECONDS = 1e-3
+
+
+def check_micro(path: pathlib.Path, doc: dict) -> list[str]:
+    errors = []
+    benchmarks = doc.get("benchmarks")
+    if not isinstance(benchmarks, list) or not benchmarks:
+        errors.append(f"{path}: no benchmarks recorded")
+    return errors
+
+
+def check_bench_run(path: pathlib.Path, doc: dict) -> list[str]:
+    errors = []
+    runs = doc.get("runs")
+    if not isinstance(runs, list):
+        return [f"{path}: no runs array"]
+    if not runs:
+        # Some benches (e.g. tables12 in quick mode) drive the workload
+        # directly rather than through the experiment runner; an empty
+        # runs array is fine as long as the header agrees.
+        if doc.get("experiments") != 0:
+            return [f"{path}: runs empty but header declares "
+                    f"{doc.get('experiments')!r} experiments"]
+        return []
+    for run in runs:
+        label = run.get("label", "<unlabelled>")
+        if not run.get("ok", False):
+            # Harness failures abort the bench before JSON is written, but
+            # be defensive: a recorded failure is a check failure too.
+            errors.append(f"{path}: run '{label}' not ok: "
+                          f"{run.get('error', 'unknown error')}")
+            continue
+        metrics = run.get("metrics")
+        if not isinstance(metrics, dict):
+            errors.append(f"{path}: run '{label}' missing metrics snapshot")
+            continue
+        for section in METRIC_SECTIONS:
+            if section not in metrics:
+                errors.append(f"{path}: run '{label}' metrics missing "
+                              f"'{section}'")
+        if not run.get("fault_injected") or not run.get("recovered"):
+            continue
+        phases = run.get("recovery_phase_us")
+        headline = float(run.get("recovery_seconds", 0.0))
+        if not isinstance(phases, dict) or not phases:
+            # A fault absorbed without a recovery procedure (e.g. transient
+            # I/O glitches retried away) has nothing to decompose.
+            if headline <= HEADLINE_TOLERANCE_SECONDS:
+                continue
+            errors.append(f"{path}: recovered run '{label}' has no "
+                          "recovery_phase_us decomposition")
+            continue
+        phase_sum = sum(v for k, v in phases.items() if k != "detection")
+        if abs(phase_sum / 1e6 - headline) > HEADLINE_TOLERANCE_SECONDS:
+            errors.append(
+                f"{path}: run '{label}' phase spans sum to "
+                f"{phase_sum / 1e6:.6f}s but recovery_seconds is "
+                f"{headline:.6f}s")
+    return errors
+
+
+def main() -> int:
+    results_dir = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "results")
+    files = sorted(results_dir.glob("bench_*.json"))
+    if not files:
+        print(f"check_results: no bench_*.json files in {results_dir}",
+              file=sys.stderr)
+        return 1
+
+    errors = []
+    for path in files:
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            errors.append(f"{path}: unreadable or invalid JSON: {exc}")
+            continue
+        if path.name == "bench_micro.json":
+            errors.extend(check_micro(path, doc))
+        else:
+            errors.extend(check_bench_run(path, doc))
+        print(f"check_results: checked {path}")
+
+    for message in errors:
+        print(f"check_results: FAIL {message}", file=sys.stderr)
+    if errors:
+        return 1
+    print(f"check_results: {len(files)} file(s) OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Shared CI dependency install step — every workflow job sources the same
+# package list instead of copy-pasting its own apt-get invocation.
+#
+# Usage: ci_install_deps.sh [extra-packages...]
+set -eu
+
+sudo apt-get update
+sudo apt-get install -y --no-install-recommends \
+  cmake ninja-build ccache libgtest-dev libbenchmark-dev "$@"

@@ -52,7 +52,14 @@ Result<ExperimentResult> Experiment::run() {
   sim::Host primary("primary", &clock);
   add_standard_disks(primary);
 
-  const engine::DatabaseConfig cfg = make_db_config(opts_);
+  // The experiment owns the statistics area so counters, wait events and
+  // the recovery trace survive crash-restart incarnation swaps (each
+  // restart builds a new Database that registers into the same registry).
+  // A configured standby shares it too: its engine merges into the same
+  // counters, and stand-by activation extends the same recovery trace.
+  auto stats_area = std::make_unique<obs::Observability>();
+  engine::DatabaseConfig cfg = make_db_config(opts_);
+  cfg.obs = stats_area.get();
   auto db = std::make_unique<engine::Database>(&primary, &sched, cfg);
   VDB_RETURN_IF_ERROR(db->create());
 
@@ -123,6 +130,11 @@ Result<ExperimentResult> Experiment::run() {
   auto finish_recovery = [&](bool procedure_ok, SimTime recovery_start,
                              Lsn recovered_to,
                              SimTime failure_time) -> Status {
+    // The recovery procedure proper is over: close its open phase span so
+    // the remaining interval (up to the first post-recovery commit) is
+    // folded into the resume phase by finish().
+    obs::RecoveryTracer& tracer = stats_area->tracer();
+    if (tracer.active()) tracer.exit(clock.now());
     if (!procedure_ok) {
       // Nothing was recovered: every committed write transaction is lost.
       recovered_to = 0;
@@ -138,14 +150,17 @@ Result<ExperimentResult> Experiment::run() {
       Status resume = driver.run_until(end);
       if (driver.commits().size() > commits_before) {
         result.recovered = true;
-        result.recovery_time =
-            driver.commits()[commits_before].commit_time - recovery_start;
+        const SimTime first_commit =
+            driver.commits()[commits_before].commit_time;
+        result.recovery_time = first_commit - recovery_start;
+        if (tracer.active()) tracer.finish(first_commit);
       } else {
         // Out of experiment window before service came back — the
         // paper's ">600 s" cells.
         result.recovered = false;
         result.recovery_time =
             end > recovery_start ? end - recovery_start : 0;
+        if (tracer.active()) tracer.finish(clock.now());
       }
       if (!resume.is_ok() && clock.now() < end) {
         return make_error(resume.code(), "post-recovery workload failed: " +
@@ -154,8 +169,18 @@ Result<ExperimentResult> Experiment::run() {
     } else {
       result.recovered = false;
       result.recovery_time = end > recovery_start ? end - recovery_start : 0;
+      if (tracer.active()) tracer.finish(clock.now());
     }
     return Status::ok();
+  };
+
+  // Opens the recovery trace at the instant the failure surfaced to the
+  // end-user; the detection span then runs exactly until the procedure
+  // starts, so later phases tile [recovery_start, first commit].
+  auto begin_trace = [&](const char* label, SimTime failure_time) {
+    obs::RecoveryTracer& tracer = stats_area->tracer();
+    tracer.start(label, failure_time);
+    tracer.enter(obs::RecoveryPhase::kDetection, failure_time);
   };
 
   // DBVERIFY + BLOCKRECOVER: scan every live datafile and repair each bad
@@ -221,8 +246,10 @@ Result<ExperimentResult> Experiment::run() {
     } else {
       const SimTime failure_time = clock.now();
       result.detection_delay = opts_.detection_time;
+      begin_trace("storage recovery", failure_time);
       clock.advance_by(opts_.detection_time);
       const SimTime recovery_start = clock.now();
+      stats_area->tracer().enter(obs::RecoveryPhase::kRestore, recovery_start);
 
       Lsn recovered_to = std::numeric_limits<Lsn>::max();  // complete
       bool procedure_ok = true;
@@ -315,8 +342,12 @@ Result<ExperimentResult> Experiment::run() {
     } else {
       const SimTime failure_time = clock.now();
       result.detection_delay = opts_.detection_time;
+      begin_trace(opts_.with_standby ? "standby activation"
+                                     : "operator fault recovery",
+                  failure_time);
       clock.advance_by(opts_.detection_time);
       const SimTime recovery_start = clock.now();
+      stats_area->tracer().enter(obs::RecoveryPhase::kRestore, recovery_start);
 
       Lsn recovered_to = std::numeric_limits<Lsn>::max();  // complete
       bool procedure_ok = true;
@@ -379,7 +410,11 @@ Result<ExperimentResult> Experiment::run() {
             break;
           }
           case faults::RecoveryKind::kTablespaceOnline: {
-            // The DBA types one ALTER TABLESPACE ... ONLINE.
+            // The DBA types one ALTER TABLESPACE ... ONLINE. No restore
+            // happens; re-enter at the same instant so the zero-length
+            // restore span is dropped and the command is an open phase.
+            stats_area->tracer().enter(obs::RecoveryPhase::kOpen,
+                                       recovery_start);
             clock.advance_by(800 * kMillisecond);
             Status online = db->alter_tablespace_online(fault.tablespace);
             if (!online.is_ok()) procedure_ok = false;
@@ -443,6 +478,16 @@ Result<ExperimentResult> Experiment::run() {
     result.integrity_violations = report.value().violations;
     result.integrity_messages = report.value().messages;
   }
+
+  const obs::RecoveryTrace* trace = stats_area->tracer().latest();
+  if (trace != nullptr) {
+    for (size_t k = 0; k < obs::kRecoveryPhaseCount; ++k) {
+      const auto phase = static_cast<obs::RecoveryPhase>(k);
+      result.recovery_phases.emplace_back(obs::to_string(phase),
+                                          trace->phase_time(phase));
+    }
+  }
+  result.metrics = stats_area->snapshot();
   return result;
 }
 

@@ -28,6 +28,7 @@
 #include "common/status.hpp"
 #include "faults/extended_faults.hpp"
 #include "faults/fault_injector.hpp"
+#include "obs/observability.hpp"
 #include "tpcc/tpcc_random.hpp"
 
 namespace vdb::bench {
@@ -102,6 +103,14 @@ struct ExperimentResult {
 
   SimTime workload_start = 0;
   SimTime fault_time = 0;
+
+  // Observability (the V$-style statistics area, serialized with every
+  // bench JSON row). `recovery_phases` aggregates the recorded recovery
+  // trace per phase, in phase order, zeros included; because spans tile
+  // the trace, the non-detection entries sum to recovery_time to the
+  // simulated tick.
+  obs::MetricsSnapshot metrics;
+  std::vector<std::pair<std::string, SimDuration>> recovery_phases;
 };
 
 class Experiment {

@@ -214,6 +214,69 @@ Result<std::string> AdminShell::execute(const std::string& command) {
     return out.str();
   }
 
+  // V$ dynamic performance views over the instance's statistics area.
+  // Accepts both the bare view name and "SELECT * FROM V$...".
+  std::string view;
+  if (verb.rfind("V$", 0) == 0) {
+    view = verb;
+  } else if (verb == "SELECT") {
+    for (const auto& token : tokens) {
+      const std::string t = upper(token);
+      if (t.rfind("V$", 0) == 0) view = t;
+    }
+    if (view.empty()) return bad_syntax(command);
+  }
+  if (view == "V$SYSSTAT") {
+    std::ostringstream out;
+    obs::MetricsRegistry& reg = db_->obs().registry();
+    reg.for_each_counter([&](const std::string& name, const obs::Counter& c) {
+      out << name << "  " << c.value() << "\n";
+    });
+    reg.for_each_gauge([&](const std::string& name, const obs::Gauge& g) {
+      out << name << "  " << g.value() << "\n";
+    });
+    reg.for_each_histogram(
+        [&](const std::string& name, const obs::Histogram& h) {
+          if (h.count() == 0) return;
+          out << name << "  count=" << h.count() << " mean_us=" << h.mean()
+              << " p90_us=" << h.percentile(0.90) << "\n";
+        });
+    return out.str();
+  }
+  if (view == "V$SYSTEM_EVENT") {
+    std::ostringstream out;
+    const obs::WaitEventTable& waits = db_->obs().waits();
+    for (size_t k = 0; k < static_cast<size_t>(obs::WaitEvent::kCount); ++k) {
+      const auto event = static_cast<obs::WaitEvent>(k);
+      if (waits.total_waits(event) == 0) continue;
+      out << obs::to_string(event) << "  waits=" << waits.total_waits(event)
+          << " time_us=" << waits.time_waited(event)
+          << " max_us=" << waits.max_wait(event) << "\n";
+    }
+    return out.str();
+  }
+  if (view == "V$RECOVERY_PROGRESS") {
+    std::ostringstream out;
+    const obs::RecoveryTracer& tracer = db_->obs().tracer();
+    auto print = [&](const obs::RecoveryTrace& trace, bool in_progress) {
+      out << trace.label << " start_us=" << trace.start;
+      if (in_progress) {
+        out << " IN PROGRESS\n";
+      } else {
+        out << " total_us=" << trace.total() << "\n";
+      }
+      for (const auto& span : trace.spans) {
+        out << "  " << obs::to_string(span.phase) << "  "
+            << span.duration() << " us\n";
+      }
+    };
+    for (const auto& trace : tracer.history()) print(trace, false);
+    if (tracer.active()) print(*tracer.current(), true);
+    if (out.str().empty()) return std::string{"no recovery recorded\n"};
+    return out.str();
+  }
+  if (!view.empty()) return bad_syntax(command);
+
   if (verb == "HOST" && tokens.size() >= 3) {
     const std::string op = upper(tokens[1]);
     if (op == "RM") {

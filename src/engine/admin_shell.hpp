@@ -15,6 +15,9 @@
 //   ARCHIVE LOG LIST
 //   SHOW {TABLES | DATAFILES | TABLESPACES}
 //   VERIFY                  -- DBVERIFY: checksum every datafile block
+//   V$SYSSTAT               -- counters/gauges/histograms (also reachable
+//   V$SYSTEM_EVENT             as SELECT * FROM V$<view>); wait events;
+//   V$RECOVERY_PROGRESS        per-phase timings of recorded recoveries
 //   HOST RM <path>          -- OS escape: delete a file
 //   HOST CORRUPT <path>     -- OS escape: corrupt a file in place
 //   HOST FLIPBITS <path> <offset> <len> [seed]

@@ -32,6 +32,25 @@ Database::Database(sim::Host* host, sim::Scheduler* scheduler,
   storage_ = std::make_unique<storage::StorageManager>(
       &host_->fs(), cfg_.storage,
       [this](Lsn lsn) { (void)redo_->flush_to(lsn); });
+
+  if (cfg_.obs != nullptr) {
+    obs_ = cfg_.obs;
+  } else {
+    owned_obs_ = std::make_unique<obs::Observability>();
+    obs_ = owned_obs_.get();
+  }
+  obs::MetricsRegistry& reg = obs_->registry();
+  metrics_.commits = reg.counter("user commits");
+  metrics_.rollbacks = reg.counter("user rollbacks");
+  metrics_.full_checkpoints = reg.counter("checkpoints full");
+  metrics_.incremental_checkpoints = reg.counter("checkpoints incremental");
+  metrics_.instance_recoveries = reg.counter("instance recoveries");
+  metrics_.recovery_records = reg.counter("recovery records replayed");
+  metrics_.loser_txns = reg.counter("recovery loser txns rolled back");
+  const sim::VirtualClock* clock = &scheduler_->clock();
+  redo_->set_observability(obs_, clock);
+  archiver_->set_observability(obs_);
+  storage_->set_observability(obs_, clock);
 }
 
 Database::~Database() { cancel_background_tasks(); }
@@ -52,11 +71,26 @@ Status Database::create() {
 
 Status Database::startup() {
   VDB_CHECK_MSG(state_ == InstanceState::kClosed, "startup on non-closed db");
+  const SimTime started_at = scheduler_->now();
   advance(cfg_.cost.instance_startup);
 
   auto control = ControlFile::read(host_->fs(), cfg_.control_files);
   if (!control.is_ok()) return control.status();
   const bool clean = control.value().clean_shutdown;
+
+  // Phase tracing. When the harness already opened a trace (it timestamps
+  // detection from the failure instant), this startup's phases tile into
+  // it; an unclean startup with no trace in flight opens its own so plain
+  // crash-recovery runs still get a V$RECOVERY_PROGRESS row. Entering
+  // kRestore at started_at back-attributes the instance-start cost charged
+  // above to the restore phase, and closes the harness's detection span at
+  // the instant the procedure actually began.
+  obs::RecoveryTracer& tr = obs_->tracer();
+  const bool own_trace = !clean && !tr.active();
+  if (own_trace) tr.start("instance recovery", started_at);
+  obs::RecoveryTracer* tracer = tr.active() ? &tr : nullptr;
+  if (tracer != nullptr) tracer->enter(obs::RecoveryPhase::kRestore, started_at);
+
   VDB_RETURN_IF_ERROR(mount_from_control(control.value()));
   VDB_RETURN_IF_ERROR(redo_->open_existing());
 
@@ -65,6 +99,9 @@ Status Database::startup() {
     if (!recovered.is_ok()) return recovered.status();
   }
 
+  if (tracer != nullptr) {
+    tracer->enter(obs::RecoveryPhase::kOpen, scheduler_->now());
+  }
   if (post_recovery_hook_) VDB_RETURN_IF_ERROR(post_recovery_hook_(*this));
 
   if (on_mounted_) on_mounted_(*this);
@@ -87,6 +124,15 @@ Status Database::startup() {
   state_ = InstanceState::kOpen;
   VDB_RETURN_IF_ERROR(write_control_file(/*clean=*/false));
   schedule_background_tasks();
+  if (tracer != nullptr) {
+    // A self-owned trace ends at open; a harness-owned one stays active so
+    // the harness can extend it to the first post-recovery commit (resume).
+    if (own_trace) {
+      tracer->finish(scheduler_->now());
+    } else {
+      tracer->exit(scheduler_->now());
+    }
+  }
   return Status::ok();
 }
 
@@ -141,6 +187,9 @@ Status Database::write_control_file(bool clean) {
 // --- checkpoints ---------------------------------------------------------------
 
 Status Database::full_checkpoint() {
+  obs::WaitScope wait(&obs_->waits(), &scheduler_->clock(),
+                      obs::WaitEvent::kCheckpointWait);
+  metrics_.full_checkpoints->inc();
   VDB_RETURN_IF_ERROR(redo_->flush());
   auto result = storage_->cache().checkpoint();
   VDB_RETURN_IF_ERROR(handle_store_failures(result.failures));
@@ -157,6 +206,9 @@ Status Database::full_checkpoint() {
 }
 
 Status Database::incremental_checkpoint() {
+  obs::WaitScope wait(&obs_->waits(), &scheduler_->clock(),
+                      obs::WaitEvent::kCheckpointWait);
+  metrics_.incremental_checkpoints->inc();
   VDB_RETURN_IF_ERROR(redo_->flush());
   const SimTime now = scheduler_->now();
   const SimTime cutoff =
@@ -415,6 +467,7 @@ Result<Lsn> Database::commit(TxnId txn) {
     VDB_RETURN_IF_ERROR(txns_.mark_committed(txn, 0));
     locks_.release_all(txn);
     stats_.commits += 1;
+    metrics_.commits->inc();
     return Lsn{0};
   }
 
@@ -428,11 +481,16 @@ Result<Lsn> Database::commit(TxnId txn) {
   VDB_RETURN_IF_ERROR(txns_.mark_end_logged(txn));
   // Group commit: piggybacks on an already-durable or in-flight flush when
   // possible; otherwise the LGWR batch carries every co-buffered commit.
-  VDB_RETURN_IF_ERROR(redo_->commit_flush(lsn));
+  {
+    obs::WaitScope sync(&obs_->waits(), &scheduler_->clock(),
+                        obs::WaitEvent::kLogFileSync);
+    VDB_RETURN_IF_ERROR(redo_->commit_flush(lsn));
+  }
 
   VDB_RETURN_IF_ERROR(txns_.mark_committed(txn, lsn));
   locks_.release_all(txn);
   stats_.commits += 1;
+  metrics_.commits->inc();
   return lsn;
 }
 
@@ -462,6 +520,7 @@ Status Database::rollback(TxnId txn) {
   VDB_RETURN_IF_ERROR(txns_.mark_aborted(txn));
   locks_.release_all(txn);
   stats_.aborts += 1;
+  metrics_.rollbacks->inc();
   return Status::ok();
 }
 
@@ -866,11 +925,18 @@ RedoApplyPlan Database::make_replay_plan(
   };
   hooks.on_skip = std::move(on_skip);
   hooks.jobs = cfg_.replay_jobs;
+  hooks.obs = obs_;
   return RedoApplyPlan(std::move(hooks));
 }
 
 Result<Lsn> Database::instance_recovery() {
   set_recovering(true);
+  metrics_.instance_recoveries->inc();
+  obs::RecoveryTracer* tracer =
+      obs_->tracer().active() ? &obs_->tracer() : nullptr;
+  if (tracer != nullptr) {
+    tracer->enter(obs::RecoveryPhase::kRedo, scheduler_->now());
+  }
 
   struct LoserTrack {
     std::vector<wal::UndoOp> ops;
@@ -971,10 +1037,15 @@ Result<Lsn> Database::instance_recovery() {
     set_recovering(false);
     return inner;
   }
+  metrics_.recovery_records->inc(records);
 
   // Roll back losers (transactions with no end record), newest first.
+  if (tracer != nullptr) {
+    tracer->enter(obs::RecoveryPhase::kUndo, scheduler_->now());
+  }
   for (auto it = live.rbegin(); it != live.rend(); ++it) {
     if (it->second.ops.empty()) continue;
+    metrics_.loser_txns->inc();
     VDB_RETURN_IF_ERROR(undo_incomplete_txn(TxnId{it->first}, it->second.ops,
                                             it->second.clrs));
   }
@@ -983,7 +1054,11 @@ Result<Lsn> Database::instance_recovery() {
 
   set_recovering(false);
   // Checkpoint so the replay window collapses; requires OPEN for the
-  // statistics but state transitions are managed by startup().
+  // statistics but state transitions are managed by startup(). Counts as
+  // part of the open phase for tracing purposes.
+  if (tracer != nullptr) {
+    tracer->enter(obs::RecoveryPhase::kOpen, scheduler_->now());
+  }
   VDB_RETURN_IF_ERROR(full_checkpoint());
   return recovered_to;
 }

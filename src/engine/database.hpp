@@ -30,6 +30,7 @@
 #include "engine/control_file.hpp"
 #include "engine/db_config.hpp"
 #include "engine/replay_plan.hpp"
+#include "obs/observability.hpp"
 #include "sim/host.hpp"
 #include "sim/scheduler.hpp"
 #include "storage/storage_manager.hpp"
@@ -245,6 +246,10 @@ class Database {
   sim::VirtualClock& clock() { return scheduler_->clock(); }
   const DatabaseConfig& config() const { return cfg_; }
   const EngineStats& stats() const { return stats_; }
+  /// The statistics area this instance reports into — cfg.obs when the
+  /// harness supplied one, else a private instance owned by this Database.
+  obs::Observability& obs() { return *obs_; }
+  const obs::Observability& obs() const { return *obs_; }
   storage::TableHeap* heap(TableId table);
 
  private:
@@ -271,6 +276,21 @@ class Database {
   sim::Scheduler* scheduler_;
   DatabaseConfig cfg_;
   InstanceState state_ = InstanceState::kClosed;
+
+  // Declared before the components so it outlives every instrument pointer
+  // they resolved (destruction runs in reverse declaration order).
+  std::unique_ptr<obs::Observability> owned_obs_;
+  obs::Observability* obs_ = nullptr;
+  /// Instrument pointers resolved once at construction (hot-path rule).
+  struct EngineMetrics {
+    obs::Counter* commits = nullptr;
+    obs::Counter* rollbacks = nullptr;
+    obs::Counter* full_checkpoints = nullptr;
+    obs::Counter* incremental_checkpoints = nullptr;
+    obs::Counter* instance_recoveries = nullptr;
+    obs::Counter* recovery_records = nullptr;
+    obs::Counter* loser_txns = nullptr;
+  } metrics_;
 
   std::unique_ptr<wal::RedoLog> redo_;
   std::unique_ptr<wal::Archiver> archiver_;

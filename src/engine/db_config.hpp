@@ -14,6 +14,10 @@
 #include "txn/txn_manager.hpp"
 #include "wal/redo_log.hpp"
 
+namespace vdb::obs {
+class Observability;
+}
+
 namespace vdb::engine {
 
 /// Service-demand model: how much virtual time each unit of engine work
@@ -59,6 +63,11 @@ struct DatabaseConfig {
   /// the host's core count. Results are byte-identical at any setting; only
   /// wall-clock time changes.
   unsigned replay_jobs = 0;
+  /// Statistics area (V$SYSSTAT / V$SYSTEM_EVENT / V$RECOVERY_PROGRESS).
+  /// Normally supplied by the experiment harness so metrics survive
+  /// crash-restart incarnation swaps; a Database constructed with nullptr
+  /// owns a private one instead.
+  obs::Observability* obs = nullptr;
 };
 
 }  // namespace vdb::engine

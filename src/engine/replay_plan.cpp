@@ -61,10 +61,12 @@ Status RedoApplyPlan::apply_serially(Run& run, Stats* stats) {
     Status st = hooks_.serial_apply(rec);
     if (st.is_ok()) {
       stats->applied += 1;
+      applied_counter_->inc();
       continue;
     }
     if (!skippable(st.code())) return st;
     stats->skipped += 1;
+    skipped_counter_->inc();
     if (hooks_.on_skip) hooks_.on_skip(rec.lsn, st);
   }
   return Status::ok();
@@ -83,6 +85,7 @@ Status RedoApplyPlan::prepare_run(Run& run, Stats* stats) {
     run.skipped = true;
     for (std::size_t idx : run.items) {
       stats->skipped += 1;
+      skipped_counter_->inc();
       if (hooks_.on_skip) hooks_.on_skip(records_[idx].lsn, ref.status());
     }
     return Status::ok();
@@ -98,7 +101,9 @@ void RedoApplyPlan::apply_run(Run& run) const {
     const wal::LogRecord& rec = records_[idx];
     // Guard-skipped records (change already on the page) count as applied,
     // matching the serial path where apply_record returns ok for them.
+    // The counter update runs on the worker pool — one relaxed atomic add.
     run.applied += 1;
+    applied_counter_->inc();
     if (rec.lsn <= page->lsn()) continue;
     switch (rec.type) {
       case wal::LogRecordType::kInsert:
@@ -119,6 +124,7 @@ void RedoApplyPlan::apply_run(Run& run) const {
 Result<RedoApplyPlan::Stats> RedoApplyPlan::drain() {
   Stats stats;
   if (staged_count_ == 0) return stats;
+  drains_counter_->inc();
 
   // Runs are processed in chunks small enough that every chunk's pages fit
   // pinned in the cache with room to spare (the serial-apply path inside

@@ -24,6 +24,7 @@
 
 #include "common/status.hpp"
 #include "common/types.hpp"
+#include "obs/observability.hpp"
 #include "storage/storage_manager.hpp"
 #include "wal/log_record.hpp"
 
@@ -46,9 +47,18 @@ class RedoApplyPlan {
     std::function<void(Lsn, const Status&)> on_skip;
     /// Worker count for the apply phase; 0 honors VDB_JOBS.
     unsigned jobs = 0;
+    /// Statistics area; nullptr falls back to the process default. The
+    /// "replay records applied" counter is updated from the worker pool
+    /// (relaxed atomics — the ThreadSanitizer CI job covers this).
+    obs::Observability* obs = nullptr;
   };
 
-  explicit RedoApplyPlan(Hooks hooks) : hooks_(std::move(hooks)) {}
+  explicit RedoApplyPlan(Hooks hooks) : hooks_(std::move(hooks)) {
+    obs::MetricsRegistry& reg = obs::resolve(hooks_.obs)->registry();
+    applied_counter_ = reg.counter("replay records applied");
+    skipped_counter_ = reg.counter("replay records skipped");
+    drains_counter_ = reg.counter("replay drains");
+  }
 
   /// True for record types the plan partitions (DML + page format). The
   /// driver applies everything else itself — DDL and checkpoint records are
@@ -90,6 +100,9 @@ class RedoApplyPlan {
   std::size_t staged_count_ = 0;
   std::vector<Run> runs_;  // first-touch (LSN) order — deterministic
   std::unordered_map<PageId, std::size_t> page_index_;
+  obs::Counter* applied_counter_ = nullptr;
+  obs::Counter* skipped_counter_ = nullptr;
+  obs::Counter* drains_counter_ = nullptr;
 };
 
 }  // namespace vdb::engine

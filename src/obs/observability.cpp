@@ -1,0 +1,420 @@
+#include "obs/observability.hpp"
+
+#include <cctype>
+#include <cstddef>
+
+namespace vdb::obs {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out.push_back(c); break;
+    }
+  }
+  out.push_back('"');
+}
+
+/// Recursive-descent reader for the JSON subset to_json emits (objects,
+/// arrays, strings with the escapes above, unsigned/signed integers,
+/// booleans). Parse failures set ok=false and poison everything downstream.
+class Reader {
+ public:
+  explicit Reader(const std::string& text) : text_(text) {}
+
+  bool ok() const { return ok_; }
+  bool at_end() {
+    skip_ws();
+    return pos_ >= text_.size();
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return fail();
+  }
+  bool peek(char c) {
+    skip_ws();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  std::string read_string() {
+    skip_ws();
+    std::string out;
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      fail();
+      return out;
+    }
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) {
+          fail();
+          return out;
+        }
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          default: fail(); return out;
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    if (pos_ >= text_.size()) {
+      fail();
+      return out;
+    }
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  std::uint64_t read_u64() {
+    skip_ws();
+    std::uint64_t v = 0;
+    bool any = false;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      v = v * 10 + static_cast<std::uint64_t>(text_[pos_++] - '0');
+      any = true;
+    }
+    if (!any) fail();
+    return v;
+  }
+
+  std::int64_t read_i64() {
+    skip_ws();
+    bool neg = false;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      neg = true;
+      ++pos_;
+    }
+    const std::uint64_t mag = read_u64();
+    return neg ? -static_cast<std::int64_t>(mag)
+               : static_cast<std::int64_t>(mag);
+  }
+
+  bool read_bool() {
+    skip_ws();
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return false;
+    }
+    fail();
+    return false;
+  }
+
+  /// Requires the next token to be the given object key (with colon).
+  void expect_key(const char* key) {
+    if (read_string() != key) fail();
+    consume(':');
+  }
+
+  /// Iterates "[" elem ("," elem)* "]"; fn parses one element.
+  template <typename Fn>
+  void read_array(Fn&& fn) {
+    if (!consume('[')) return;
+    if (peek(']')) {
+      consume(']');
+      return;
+    }
+    while (ok_) {
+      fn();
+      if (peek(']')) {
+        consume(']');
+        return;
+      }
+      if (!consume(',')) return;
+    }
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool fail() {
+    ok_ = false;
+    return false;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace
+
+std::uint64_t MetricsSnapshot::counter(const std::string& name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+const WaitEventRow* MetricsSnapshot::wait(const std::string& event) const {
+  for (const WaitEventRow& row : wait_events) {
+    if (row.event == event) return &row;
+  }
+  return nullptr;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out;
+  out.reserve(1024);
+  out += "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_escaped(out, name);
+    out.push_back(':');
+    out += std::to_string(v);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_escaped(out, name);
+    out.push_back(':');
+    out += std::to_string(v);
+  }
+  out += "},\"wait_events\":[";
+  first = true;
+  for (const WaitEventRow& w : wait_events) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"event\":";
+    append_escaped(out, w.event);
+    out += ",\"waits\":" + std::to_string(w.waits);
+    out += ",\"time_us\":" + std::to_string(w.time_us);
+    out += ",\"max_us\":" + std::to_string(w.max_us);
+    out.push_back('}');
+  }
+  out += "],\"histograms\":[";
+  first = true;
+  for (const HistogramRow& h : histograms) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"name\":";
+    append_escaped(out, h.name);
+    out += ",\"count\":" + std::to_string(h.count);
+    out += ",\"sum_us\":" + std::to_string(h.sum_us);
+    out += ",\"min_us\":" + std::to_string(h.min_us);
+    out += ",\"max_us\":" + std::to_string(h.max_us);
+    out += ",\"p50_us\":" + std::to_string(h.p50_us);
+    out += ",\"p90_us\":" + std::to_string(h.p90_us);
+    out += ",\"p99_us\":" + std::to_string(h.p99_us);
+    out.push_back('}');
+  }
+  out += "],\"recovery\":[";
+  first = true;
+  for (const TraceRow& t : recovery) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"label\":";
+    append_escaped(out, t.label);
+    out += ",\"start_us\":" + std::to_string(t.start_us);
+    out += ",\"end_us\":" + std::to_string(t.end_us);
+    out += ",\"finished\":";
+    out += t.finished ? "true" : "false";
+    out += ",\"phases\":[";
+    bool pfirst = true;
+    for (const PhaseRow& p : t.phases) {
+      if (!pfirst) out.push_back(',');
+      pfirst = false;
+      out += "{\"phase\":";
+      append_escaped(out, p.phase);
+      out += ",\"us\":" + std::to_string(p.us);
+      out.push_back('}');
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+Result<MetricsSnapshot> MetricsSnapshot::from_json(const std::string& json) {
+  MetricsSnapshot snap;
+  Reader r(json);
+
+  r.consume('{');
+  r.expect_key("counters");
+  r.consume('{');
+  if (!r.peek('}')) {
+    do {
+      std::string name = r.read_string();
+      r.consume(':');
+      snap.counters.emplace_back(std::move(name), r.read_u64());
+    } while (r.ok() && !r.peek('}') && r.consume(','));
+  }
+  r.consume('}');
+
+  r.consume(',');
+  r.expect_key("gauges");
+  r.consume('{');
+  if (!r.peek('}')) {
+    do {
+      std::string name = r.read_string();
+      r.consume(':');
+      snap.gauges.emplace_back(std::move(name), r.read_i64());
+    } while (r.ok() && !r.peek('}') && r.consume(','));
+  }
+  r.consume('}');
+
+  r.consume(',');
+  r.expect_key("wait_events");
+  r.read_array([&] {
+    WaitEventRow w;
+    r.consume('{');
+    r.expect_key("event");
+    w.event = r.read_string();
+    r.consume(',');
+    r.expect_key("waits");
+    w.waits = r.read_u64();
+    r.consume(',');
+    r.expect_key("time_us");
+    w.time_us = r.read_u64();
+    r.consume(',');
+    r.expect_key("max_us");
+    w.max_us = r.read_u64();
+    r.consume('}');
+    snap.wait_events.push_back(std::move(w));
+  });
+
+  r.consume(',');
+  r.expect_key("histograms");
+  r.read_array([&] {
+    HistogramRow h;
+    r.consume('{');
+    r.expect_key("name");
+    h.name = r.read_string();
+    r.consume(',');
+    r.expect_key("count");
+    h.count = r.read_u64();
+    r.consume(',');
+    r.expect_key("sum_us");
+    h.sum_us = r.read_u64();
+    r.consume(',');
+    r.expect_key("min_us");
+    h.min_us = r.read_u64();
+    r.consume(',');
+    r.expect_key("max_us");
+    h.max_us = r.read_u64();
+    r.consume(',');
+    r.expect_key("p50_us");
+    h.p50_us = r.read_u64();
+    r.consume(',');
+    r.expect_key("p90_us");
+    h.p90_us = r.read_u64();
+    r.consume(',');
+    r.expect_key("p99_us");
+    h.p99_us = r.read_u64();
+    r.consume('}');
+    snap.histograms.push_back(std::move(h));
+  });
+
+  r.consume(',');
+  r.expect_key("recovery");
+  r.read_array([&] {
+    TraceRow t;
+    r.consume('{');
+    r.expect_key("label");
+    t.label = r.read_string();
+    r.consume(',');
+    r.expect_key("start_us");
+    t.start_us = r.read_u64();
+    r.consume(',');
+    r.expect_key("end_us");
+    t.end_us = r.read_u64();
+    r.consume(',');
+    r.expect_key("finished");
+    t.finished = r.read_bool();
+    r.consume(',');
+    r.expect_key("phases");
+    r.read_array([&] {
+      PhaseRow p;
+      r.consume('{');
+      r.expect_key("phase");
+      p.phase = r.read_string();
+      r.consume(',');
+      r.expect_key("us");
+      p.us = r.read_u64();
+      r.consume('}');
+      t.phases.push_back(std::move(p));
+    });
+    r.consume('}');
+    snap.recovery.push_back(std::move(t));
+  });
+
+  r.consume('}');
+  if (!r.ok() || !r.at_end()) {
+    return Status{ErrorCode::kInvalidArgument, "malformed metrics JSON"};
+  }
+  return snap;
+}
+
+MetricsSnapshot Observability::snapshot() const {
+  MetricsSnapshot snap;
+  registry_.for_each_counter([&](const std::string& name, const Counter& c) {
+    snap.counters.emplace_back(name, c.value());
+  });
+  registry_.for_each_gauge([&](const std::string& name, const Gauge& g) {
+    snap.gauges.emplace_back(name, g.value());
+  });
+  for (std::size_t i = 0; i < kWaitEventCount; ++i) {
+    const auto e = static_cast<WaitEvent>(i);
+    if (waits_.total_waits(e) == 0) continue;
+    snap.wait_events.push_back(WaitEventRow{
+        to_string(e), waits_.total_waits(e), waits_.time_waited(e),
+        waits_.max_wait(e)});
+  }
+  registry_.for_each_histogram(
+      [&](const std::string& name, const Histogram& h) {
+        if (h.count() == 0) return;
+        snap.histograms.push_back(HistogramRow{
+            name, h.count(), h.sum(), h.min(), h.max(), h.percentile(0.50),
+            h.percentile(0.90), h.percentile(0.99)});
+      });
+  auto add_trace = [&](const RecoveryTrace& trace) {
+    TraceRow row;
+    row.label = trace.label;
+    row.start_us = trace.start;
+    row.end_us = trace.finished ? trace.end : trace.start + trace.total();
+    row.finished = trace.finished;
+    for (const PhaseSpan& span : trace.spans) {
+      row.phases.push_back(PhaseRow{to_string(span.phase), span.duration()});
+    }
+    snap.recovery.push_back(std::move(row));
+  };
+  for (const RecoveryTrace& trace : tracer_.history()) add_trace(trace);
+  if (tracer_.current() != nullptr) add_trace(*tracer_.current());
+  return snap;
+}
+
+Observability& default_observability() {
+  static Observability instance;
+  return instance;
+}
+
+}  // namespace vdb::obs

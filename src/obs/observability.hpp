@@ -1,0 +1,115 @@
+// Observability context: the metrics registry, wait-event table, and
+// recovery-phase tracer as one unit — the "SGA statistics area" of a
+// database instance.
+//
+// Ownership: an Observability normally OUTLIVES database incarnations. The
+// experiment harness creates one per experiment and passes it through
+// DatabaseConfig::obs, so a crash-restart cycle (old instance destroyed, a
+// fresh one constructed over the same host) accumulates into the same
+// registry and the whole run snapshots as one row. A Database constructed
+// with cfg.obs == nullptr owns a private instance instead; components
+// wired with a null pointer fall back to a process-wide default so they
+// remain usable standalone (unit tests, microbenchmarks).
+//
+// MetricsSnapshot is the plain-data export: copyable, comparable, and
+// round-trippable through its JSON form — every results/bench_*.json row
+// carries one under the "metrics" key.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recovery_trace.hpp"
+#include "obs/wait_events.hpp"
+
+namespace vdb::obs {
+
+struct WaitEventRow {
+  std::string event;
+  std::uint64_t waits = 0;
+  std::uint64_t time_us = 0;
+  std::uint64_t max_us = 0;
+  bool operator==(const WaitEventRow&) const = default;
+};
+
+struct HistogramRow {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t sum_us = 0;
+  std::uint64_t min_us = 0;
+  std::uint64_t max_us = 0;
+  std::uint64_t p50_us = 0;
+  std::uint64_t p90_us = 0;
+  std::uint64_t p99_us = 0;
+  bool operator==(const HistogramRow&) const = default;
+};
+
+struct PhaseRow {
+  std::string phase;
+  std::uint64_t us = 0;
+  bool operator==(const PhaseRow&) const = default;
+};
+
+struct TraceRow {
+  std::string label;
+  std::uint64_t start_us = 0;
+  std::uint64_t end_us = 0;
+  bool finished = false;
+  /// Span order preserved (phases may repeat); durations tile the trace.
+  std::vector<PhaseRow> phases;
+  bool operator==(const TraceRow&) const = default;
+};
+
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<WaitEventRow> wait_events;
+  std::vector<HistogramRow> histograms;
+  std::vector<TraceRow> recovery;
+
+  bool operator==(const MetricsSnapshot&) const = default;
+
+  /// Counter value by name; 0 when absent.
+  std::uint64_t counter(const std::string& name) const;
+  /// Wait-event row by name; nullptr when absent.
+  const WaitEventRow* wait(const std::string& event) const;
+
+  /// Compact single-line JSON object.
+  std::string to_json() const;
+  /// Inverse of to_json (accepts any whitespace); kErrorCode on malformed
+  /// input. Together with to_json this gives the snapshot a lossless
+  /// round-trip, which obs_test locks in.
+  static Result<MetricsSnapshot> from_json(const std::string& json);
+};
+
+class Observability {
+ public:
+  MetricsRegistry& registry() { return registry_; }
+  WaitEventTable& waits() { return waits_; }
+  RecoveryTracer& tracer() { return tracer_; }
+  const MetricsRegistry& registry() const { return registry_; }
+  const WaitEventTable& waits() const { return waits_; }
+  const RecoveryTracer& tracer() const { return tracer_; }
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  MetricsRegistry registry_;
+  WaitEventTable waits_;
+  RecoveryTracer tracer_;
+};
+
+/// Process-wide fallback instance for components wired without an explicit
+/// Observability (standalone unit tests, microbenchmarks).
+Observability& default_observability();
+
+/// nullptr -> &default_observability(), anything else passes through.
+inline Observability* resolve(Observability* obs) {
+  return obs != nullptr ? obs : &default_observability();
+}
+
+}  // namespace vdb::obs

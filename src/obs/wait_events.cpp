@@ -1,0 +1,28 @@
+#include "obs/wait_events.hpp"
+
+namespace vdb::obs {
+
+const char* to_string(WaitEvent e) {
+  switch (e) {
+    case WaitEvent::kLogFileSync: return "log_file_sync";
+    case WaitEvent::kDbFileSequentialRead: return "db_file_sequential_read";
+    case WaitEvent::kCheckpointWait: return "checkpoint_wait";
+    case WaitEvent::kBufferBusy: return "buffer_busy";
+    case WaitEvent::kArchiveStall: return "archive_stall";
+    case WaitEvent::kCount: break;
+  }
+  return "?";
+}
+
+void WaitEventTable::add_wait(WaitEvent e, SimDuration waited) {
+  Row& row = rows_[index(e)];
+  row.waits.fetch_add(1, std::memory_order_relaxed);
+  row.time.fetch_add(waited, std::memory_order_relaxed);
+  std::uint64_t seen = row.max.load(std::memory_order_relaxed);
+  while (waited > seen &&
+         !row.max.compare_exchange_weak(seen, waited,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace vdb::obs

@@ -85,6 +85,14 @@ Result<std::pair<std::uint64_t, Lsn>> read_log_header(sim::SimFs& fs,
   return std::make_pair(seq.value(), start.value());
 }
 
+/// Tiles `phase` into the trace the harness (or startup) opened at the
+/// failure instant. No active trace -> no-op, so plain unit-test
+/// recoveries stay untraced.
+void enter_phase(engine::Database& db, obs::RecoveryPhase phase) {
+  obs::RecoveryTracer& tracer = db.obs().tracer();
+  if (tracer.active()) tracer.enter(phase, db.clock().now());
+}
+
 }  // namespace
 
 Result<RecoveryReport> RecoveryManager::replay_from(
@@ -93,6 +101,7 @@ Result<RecoveryReport> RecoveryManager::replay_from(
     const std::function<bool(const wal::LogRecord&)>& stop_before) {
   sim::SimFs& fs = db.host().fs();
   const engine::CostModel& cost = db.config().cost;
+  enter_phase(db, obs::RecoveryPhase::kRedo);
 
   // Enumerate candidate sources: every archived log plus every live online
   // group, deduplicated by sequence number (an online group that was
@@ -250,6 +259,7 @@ Result<RecoveryReport> RecoveryManager::recover_datafile(engine::Database& db,
                                                          FileId id) {
   const engine::CostModel& cost = db.config().cost;
   db.set_recovering(true);
+  enter_phase(db, obs::RecoveryPhase::kRestore);
 
   // The cache may still hold (clean) frames of the failed file; they are
   // newer than the image about to be restored, and replaying against them
@@ -285,6 +295,7 @@ Result<RecoveryReport> RecoveryManager::recover_datafile(engine::Database& db,
   report.value().files_restored = 1;
 
   // 3. Clear the recovery requirement and bring the file online.
+  enter_phase(db, obs::RecoveryPhase::kOpen);
   VDB_RETURN_IF_ERROR(db.storage().set_recover_from(id, kInvalidLsn));
   db.set_recovering(false);
   VDB_RETURN_IF_ERROR(db.alter_datafile_online(id));
@@ -321,6 +332,7 @@ Result<RecoveryReport> RecoveryManager::recover_datafile_online(
     return Status{ErrorCode::kUnrecoverable,
                   "redo chain incomplete for offline datafile"};
   }
+  enter_phase(db, obs::RecoveryPhase::kOpen);
   VDB_RETURN_IF_ERROR(db.storage().set_recover_from(id, kInvalidLsn));
   db.set_recovering(false);
   VDB_RETURN_IF_ERROR(db.alter_datafile_online(id));
@@ -335,6 +347,7 @@ Result<RecoveryReport> RecoveryManager::recover_block(engine::Database& db,
 
   // A cached copy of the block (clean or damaged) would mask the restored
   // image the roll-forward is about to build.
+  enter_phase(db, obs::RecoveryPhase::kRestore);
   db.storage().cache().discard_page(pid);
 
   // 1. Restore just this block's image from the newest backup.
@@ -355,6 +368,7 @@ Result<RecoveryReport> RecoveryManager::recover_block(engine::Database& db,
 
   // 3. Make the repair durable: the rebuild scan and later reads hit the
   //    raw datafile, not just the cache.
+  enter_phase(db, obs::RecoveryPhase::kOpen);
   auto flush = db.storage().cache().flush_file(pid.file);
   if (!flush.failures.empty()) return flush.failures.front().second;
   db.storage().clear_corrupt_block(pid);
@@ -378,6 +392,7 @@ Result<RecoveryManager::PitResult> RecoveryManager::point_in_time_recover(
   // 2. New incarnation, mounted from the backup's control snapshot; online
   //    redo of the crashed incarnation is still readable for the tail.
   auto db = std::make_unique<engine::Database>(host_, scheduler_, cfg);
+  enter_phase(*db, obs::RecoveryPhase::kRestore);
   scheduler_->clock().advance_by(cost.instance_startup);
   VDB_RETURN_IF_ERROR(db->mount_from_control(set.value().control));
   if (pre_open) pre_open(*db);  // application hooks (index rebuild, ...)
@@ -394,6 +409,7 @@ Result<RecoveryManager::PitResult> RecoveryManager::point_in_time_recover(
   //    old one ever wrote, so stale archives can never be confused with new
   //    redo.
   db->set_recovering(false);
+  enter_phase(*db, obs::RecoveryPhase::kOpen);
   const Lsn reset_at = db->redo().next_lsn() + (1u << 20);
   VDB_RETURN_IF_ERROR(db->redo().resetlogs(reset_at));
   VDB_RETURN_IF_ERROR(db->open_after_external_recovery());

@@ -150,8 +150,12 @@ Result<ActivationReport> StandbyDatabase::activate() {
   VDB_CHECK_MSG(instantiated_, "standby never instantiated");
   VDB_CHECK_MSG(!activated_, "standby already active");
 
-  // Wait for managed recovery to drain whatever has been shipped.
+  // Wait for managed recovery to drain whatever has been shipped. The
+  // activation window — waiting out managed-recovery apply plus the
+  // switchover cost — is the failover's redo phase.
   sim::VirtualClock& clock = scheduler_->clock();
+  obs::RecoveryTracer& tracer = db_->obs().tracer();
+  if (tracer.active()) tracer.enter(obs::RecoveryPhase::kRedo, clock.now());
   const SimTime ready = std::max({clock.now(), busy_until_, last_arrival_});
   if (ready > clock.now()) clock.advance_to(ready);
   clock.advance_by(cfg_.activation_cost);
@@ -162,12 +166,14 @@ Result<ActivationReport> StandbyDatabase::activate() {
   VDB_RETURN_IF_ERROR(db_->redo().resetlogs(reset_at));
   // The applied redo may end mid-transaction: roll those losers back
   // before opening (still in recovery mode; CLRs land in the new redo).
+  if (tracer.active()) tracer.enter(obs::RecoveryPhase::kUndo, clock.now());
   for (auto it = live_.rbegin(); it != live_.rend(); ++it) {
     if (it->second.ops.empty()) continue;
     VDB_RETURN_IF_ERROR(db_->undo_incomplete_txn(
         TxnId{it->first}, it->second.ops, it->second.clrs));
   }
   db_->set_recovering(false);
+  if (tracer.active()) tracer.enter(obs::RecoveryPhase::kOpen, clock.now());
   VDB_RETURN_IF_ERROR(db_->open_after_external_recovery());
   activated_ = true;
 

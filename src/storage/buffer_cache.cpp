@@ -33,11 +33,27 @@ BufferCache::BufferCache(PageStore* store, std::uint32_t capacity,
   // The frame table never outgrows the configured capacity; sizing it up
   // front removes every rehash from the fetch path.
   frames_.reserve(capacity_);
+  // Instruments are always wired (default statistics area until the engine
+  // re-wires them) so the hot paths never test for null counters.
+  set_observability(nullptr, nullptr);
+}
+
+void BufferCache::set_observability(obs::Observability* obs,
+                                    const sim::VirtualClock* clock) {
+  obs::Observability* o = obs::resolve(obs);
+  waits_ = &o->waits();
+  clock_ = clock;
+  obs::MetricsRegistry& reg = o->registry();
+  hits_counter_ = reg.counter("buffer cache hits");
+  reads_counter_ = reg.counter("physical reads");
+  dirty_writes_counter_ = reg.counter("physical writes");
+  checkpoint_pages_counter_ = reg.counter("checkpoint pages written");
 }
 
 Result<PageRef> BufferCache::fetch(PageId id) {
   if (last_frame_ != nullptr && id == last_id_) {
     stats_.hits += 1;
+    hits_counter_->inc();
     last_frame_->pins += 1;
     last_frame_->lru_tick = ++tick_;
     return PageRef{this, id, &last_frame_->page};
@@ -46,6 +62,7 @@ Result<PageRef> BufferCache::fetch(PageId id) {
   auto it = frames_.find(id);
   if (it != frames_.end()) {
     stats_.hits += 1;
+    hits_counter_->inc();
     Frame& f = *it->second;
     f.pins += 1;
     f.lru_tick = ++tick_;
@@ -61,8 +78,13 @@ Result<PageRef> BufferCache::fetch(PageId id) {
 
   auto frame = std::make_unique<Frame>();
   frame->id = id;
-  Status st = store_->load_page(id, &frame->page, io_mode_);
+  Status st;
+  {
+    obs::WaitScope wait(waits_, clock_, obs::WaitEvent::kDbFileSequentialRead);
+    st = store_->load_page(id, &frame->page, io_mode_);
+  }
   if (!st.is_ok()) return st;
+  reads_counter_->inc();
   frame->pins = 1;
   frame->lru_tick = ++tick_;
   Frame* raw = frame.get();
@@ -128,6 +150,7 @@ CheckpointResult BufferCache::flush_aged(SimTime older_than) {
       frame.dirty = false;
       result.pages_written += 1;
       stats_.dirty_writes += 1;
+      dirty_writes_counter_->inc();
     } else {
       result.failures.emplace_back(id, st);
       dirty_sorted_[still_dirty++] = id;
@@ -171,13 +194,17 @@ Status BufferCache::evict_one() {
     return make_error(ErrorCode::kInternal, "buffer cache: all pages pinned");
   }
   if (victim->dirty) {
+    obs::WaitScope wait(waits_, clock_, obs::WaitEvent::kBufferBusy);
     wal_flush_(victim->page.lsn());
     Status st = store_->store_page(victim->id, victim->page, io_mode_,
                                    /*batched=*/false);
     // A failed write (missing datafile) still frees the frame: the change
     // is preserved in the redo stream and will be reapplied by media
     // recovery, exactly as in the modelled DBMS.
-    if (st.is_ok()) stats_.dirty_writes += 1;
+    if (st.is_ok()) {
+      stats_.dirty_writes += 1;
+      dirty_writes_counter_->inc();
+    }
   }
   stats_.evictions += 1;
   if (victim == last_frame_) {
@@ -210,6 +237,8 @@ CheckpointResult BufferCache::checkpoint() {
       result.pages_written += 1;
       stats_.dirty_writes += 1;
       stats_.checkpoint_pages += 1;
+      dirty_writes_counter_->inc();
+      checkpoint_pages_counter_->inc();
     } else {
       result.failures.emplace_back(id, st);
       dirty_sorted_[still_dirty++] = id;
@@ -236,6 +265,7 @@ CheckpointResult BufferCache::flush_file(FileId file) {
       frame.dirty = false;
       result.pages_written += 1;
       stats_.dirty_writes += 1;
+      dirty_writes_counter_->inc();
     } else {
       result.failures.emplace_back(id, st);
       dirty_sorted_[still_dirty++] = id;

@@ -19,7 +19,9 @@
 
 #include "common/status.hpp"
 #include "common/types.hpp"
+#include "obs/observability.hpp"
 #include "sim/filesystem.hpp"
+#include "sim/virtual_clock.hpp"
 #include "storage/page.hpp"
 
 namespace vdb::storage {
@@ -142,6 +144,13 @@ class BufferCache {
   /// own devices without blocking the (shared-clock) primary workload.
   void set_io_mode(sim::IoMode mode) { io_mode_ = mode; }
 
+  /// Wires the cache into a statistics area: hit/read counters plus the
+  /// db_file_sequential_read and buffer_busy wait events (measured on
+  /// `clock`). Instruments are resolved here, once; nullptr obs falls back
+  /// to the process-wide default so standalone caches stay observable.
+  void set_observability(obs::Observability* obs,
+                         const sim::VirtualClock* clock);
+
  private:
   friend class PageRef;
 
@@ -183,6 +192,13 @@ class BufferCache {
   std::vector<PageId> dirty_sorted_;
   std::vector<PageId> dirty_fresh_;
   CacheStats stats_;
+
+  obs::WaitEventTable* waits_ = nullptr;
+  const sim::VirtualClock* clock_ = nullptr;
+  obs::Counter* hits_counter_ = nullptr;
+  obs::Counter* reads_counter_ = nullptr;
+  obs::Counter* dirty_writes_counter_ = nullptr;
+  obs::Counter* checkpoint_pages_counter_ = nullptr;
 };
 
 }  // namespace vdb::storage

@@ -28,6 +28,15 @@ StorageManager::StorageManager(sim::SimFs* fs, StorageParams params,
     : fs_(fs), params_(params) {
   cache_ = std::make_unique<BufferCache>(this, params_.cache_pages,
                                          std::move(wal_flush));
+  set_observability(nullptr, nullptr);
+}
+
+void StorageManager::set_observability(obs::Observability* obs,
+                                       const sim::VirtualClock* clock) {
+  obs::MetricsRegistry& reg = obs::resolve(obs)->registry();
+  retries_counter_ = reg.counter("io retries");
+  retries_exhausted_counter_ = reg.counter("io retries exhausted");
+  cache_->set_observability(obs, clock);
 }
 
 Result<TablespaceId> StorageManager::create_tablespace(
@@ -280,12 +289,14 @@ Result<std::vector<std::uint8_t>> StorageManager::read_with_retry(
     if (bytes.is_ok() || bytes.code() != ErrorCode::kTransientIo) return bytes;
     if (attempt >= policy.max_attempts) {
       ++retry_stats_.exhausted;
+      retries_exhausted_counter_->inc();
       return make_error(ErrorCode::kTransientIo,
                         bytes.status().message() + " (" +
                             std::to_string(attempt - 1) +
                             " retries exhausted)");
     }
     ++retry_stats_.retries;
+    retries_counter_->inc();
     fs_->clock().advance_by(backoff);
     backoff *= policy.multiplier;
   }
@@ -303,11 +314,13 @@ Status StorageManager::write_with_retry(const std::string& path,
     if (st.is_ok() || st.code() != ErrorCode::kTransientIo) return st;
     if (attempt >= policy.max_attempts) {
       ++retry_stats_.exhausted;
+      retries_exhausted_counter_->inc();
       return make_error(ErrorCode::kTransientIo,
                         st.message() + " (" + std::to_string(attempt - 1) +
                             " retries exhausted)");
     }
     ++retry_stats_.retries;
+    retries_counter_->inc();
     fs_->clock().advance_by(backoff);
     backoff *= policy.multiplier;
   }

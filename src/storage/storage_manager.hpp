@@ -199,6 +199,12 @@ class StorageManager final : public PageStore {
   /// Transient-I/O retry counters (cumulative for this instance).
   const IoRetryStats& retry_stats() const { return retry_stats_; }
 
+  /// Wires this manager and its buffer cache into a statistics area. The
+  /// retry loop reports "io retries" / "io retries exhausted" counters;
+  /// cache instruments are re-wired in the same call.
+  void set_observability(obs::Observability* obs,
+                         const sim::VirtualClock* clock);
+
   /// Blocks whose checksum failed on fetch or verify, pending block media
   /// recovery. Cleared per block once recovery repairs it.
   const std::vector<PageId>& corrupt_blocks() const { return corrupt_blocks_; }
@@ -240,6 +246,8 @@ class StorageManager final : public PageStore {
   std::unordered_map<TablespaceId, std::uint32_t> alloc_cursor_;  // round robin
   IoRetryStats retry_stats_;
   std::vector<PageId> corrupt_blocks_;
+  obs::Counter* retries_counter_ = nullptr;
+  obs::Counter* retries_exhausted_counter_ = nullptr;
 };
 
 }  // namespace vdb::storage

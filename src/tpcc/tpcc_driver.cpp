@@ -1,6 +1,7 @@
 #include "tpcc/tpcc_driver.hpp"
 
 #include <algorithm>
+#include <string>
 
 namespace vdb::tpcc {
 
@@ -36,6 +37,11 @@ TxnType Driver::pick_type() {
 
 Status Driver::run_until(SimTime until) {
   sim::VirtualClock& clock = scheduler_->clock();
+  obs::MetricsRegistry& registry = db_->db().obs().registry();
+  for (size_t k = 0; k < kTxnTypes; ++k) {
+    latency_hist_[k] = registry.histogram(
+        std::string("client response ") + to_string(static_cast<TxnType>(k)));
+  }
   while (clock.now() < until) {
     scheduler_->run_due();
     if (clock.now() >= until) break;
@@ -63,6 +69,7 @@ Status Driver::run_until(SimTime until) {
       CommitRecord record{type, outcome.value().commit_lsn, clock.now(),
                           clock.now() - begin};
       commits_.push_back(record);
+      latency_hist_[static_cast<size_t>(type)]->record(record.response_time);
       if (type == TxnType::kNewOrder) {
         const size_t bucket = static_cast<size_t>(
             (clock.now() - series_origin_) / cfg_.report_interval);

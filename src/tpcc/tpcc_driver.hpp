@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/observability.hpp"
 #include "sim/scheduler.hpp"
 #include "tpcc/tpcc_txns.hpp"
 
@@ -86,6 +87,11 @@ class Driver {
   /// spec's minimum-percentage mix (45/43/4/4/4).
   std::array<TxnType, 23> deck_;
   size_t deck_pos_ = 0;
+  /// Per-type response-time histograms ("client response NewOrder", ...),
+  /// re-resolved at every run_until() call: a crash-restart cycle swaps in
+  /// a new Database incarnation, and with it possibly a new statistics
+  /// area, so cached pointers must not outlive one call.
+  std::array<obs::Histogram*, kTxnTypes> latency_hist_{};
 };
 
 }  // namespace vdb::tpcc

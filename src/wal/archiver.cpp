@@ -23,6 +23,7 @@ Status Archiver::archive_group(const RedoGroup& group) {
 
   VDB_RETURN_IF_ERROR(log_->mark_archived(group.index, done));
   archived_count_ += 1;
+  archived_counter_->inc();
   last_seq_ = std::max(last_seq_, group.seq);
   if (on_archived) on_archived(dst, group.seq, done);
   return Status::ok();

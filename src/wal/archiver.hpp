@@ -21,7 +21,14 @@ namespace vdb::wal {
 
 class Archiver {
  public:
-  Archiver(sim::SimFs* fs, RedoLog* log) : fs_(fs), log_(log) {}
+  Archiver(sim::SimFs* fs, RedoLog* log) : fs_(fs), log_(log) {
+    set_observability(nullptr);
+  }
+
+  /// Wires ARCH into a statistics area ("archived logs" counter).
+  void set_observability(obs::Observability* obs) {
+    archived_counter_ = obs::resolve(obs)->registry().counter("archived logs");
+  }
 
   /// Copies the group's file to archive_path(seq) and marks the group
   /// archived at the copy's completion time.
@@ -41,6 +48,7 @@ class Archiver {
   RedoLog* log_;
   std::uint64_t archived_count_ = 0;
   std::uint64_t last_seq_ = 0;
+  obs::Counter* archived_counter_ = nullptr;
 };
 
 }  // namespace vdb::wal

@@ -19,6 +19,18 @@ RedoLog::RedoLog(sim::SimFs* fs, RedoLogConfig cfg, Callbacks cb)
     groups_[i].index = i;
     groups_[i].archived = true;
   }
+  set_observability(nullptr, nullptr);
+}
+
+void RedoLog::set_observability(obs::Observability* obs,
+                                const sim::VirtualClock* clock) {
+  obs::Observability* o = obs::resolve(obs);
+  waits_ = &o->waits();
+  obs_clock_ = clock;
+  obs::MetricsRegistry& reg = o->registry();
+  redo_bytes_counter_ = reg.counter("redo size bytes");
+  redo_writes_counter_ = reg.counter("redo writes");
+  log_switches_counter_ = reg.counter("log switches");
 }
 
 std::string RedoLog::member_path(std::uint32_t index,
@@ -167,6 +179,7 @@ Status RedoLog::switch_group() {
   old.current = false;
   old.archived = !cfg_.archive_mode;
   switches_ += 1;
+  log_switches_counter_->inc();
   if (cb_.on_group_finalized) cb_.on_group_finalized(old);
 
   const std::uint32_t next = (current_ + 1) % cfg_.groups;
@@ -192,6 +205,7 @@ Status RedoLog::switch_group() {
                         "log switch blocked: group not archived");
     }
     if (fs_->clock().now() < target.archive_done_at) {
+      obs::WaitScope stall(waits_, obs_clock_, obs::WaitEvent::kArchiveStall);
       const SimDuration wait = target.archive_done_at - fs_->clock().now();
       stall_time_ += wait;
       fs_->clock().advance_to(target.archive_done_at);
@@ -271,6 +285,8 @@ Status RedoLog::flush() {
       }
       g->charged_bytes += batch_charge;
       flushed_lsn_ = batch_end;
+      redo_bytes_counter_->inc(batch_charge);
+      redo_writes_counter_->inc();
       gc_stats_.flushes += 1;
       gc_stats_.batched_commits += batch_commits;
       gc_stats_.max_commits_per_flush =

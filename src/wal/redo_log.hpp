@@ -24,6 +24,7 @@
 
 #include "common/status.hpp"
 #include "common/types.hpp"
+#include "obs/observability.hpp"
 #include "sim/filesystem.hpp"
 #include "wal/log_record.hpp"
 
@@ -109,6 +110,12 @@ class RedoLog {
   Status commit_flush(Lsn commit_lsn);
 
   const GroupCommitStats& group_commit_stats() const { return gc_stats_; }
+
+  /// Wires LGWR into a statistics area: redo size/write counters plus the
+  /// archive_stall wait event charged when a log switch blocks on the
+  /// archiver (measured on `clock`).
+  void set_observability(obs::Observability* obs,
+                         const sim::VirtualClock* clock);
 
   /// Instance crash: buffered, unflushed entries disappear.
   void discard_unflushed();
@@ -200,6 +207,12 @@ class RedoLog {
   std::vector<Pending> pending_;
   std::size_t pending_head_ = 0;  // first unflushed entry in pending_
   GroupCommitStats gc_stats_;
+
+  obs::WaitEventTable* waits_ = nullptr;
+  const sim::VirtualClock* obs_clock_ = nullptr;
+  obs::Counter* redo_bytes_counter_ = nullptr;
+  obs::Counter* redo_writes_counter_ = nullptr;
+  obs::Counter* log_switches_counter_ = nullptr;
 };
 
 }  // namespace vdb::wal

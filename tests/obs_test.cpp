@@ -1,0 +1,268 @@
+// Observability layer: metrics registry under worker-pool contention,
+// wait-event attribution on the simulated clock, recovery-phase spans
+// tiling the traced interval, and the snapshot's JSON round-trip.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "engine/admin_shell.hpp"
+#include "obs/observability.hpp"
+#include "tests/test_env.hpp"
+
+namespace vdb {
+namespace {
+
+using obs::MetricsSnapshot;
+using obs::Observability;
+using obs::RecoveryPhase;
+using obs::RecoveryTracer;
+using obs::WaitEvent;
+using obs::WaitScope;
+
+// --- metrics registry ------------------------------------------------------
+
+TEST(MetricsRegistry, GetOrCreateReturnsStablePointers) {
+  obs::MetricsRegistry reg;
+  obs::Counter* a = reg.counter("user commits");
+  obs::Counter* b = reg.counter("user commits");
+  EXPECT_EQ(a, b);
+  a->inc();
+  a->inc(4);
+  EXPECT_EQ(b->value(), 5u);
+  EXPECT_NE(static_cast<void*>(reg.gauge("user commits")),
+            static_cast<void*>(a));
+}
+
+TEST(MetricsRegistry, CountersUnderParallelForContention) {
+  obs::MetricsRegistry reg;
+  obs::Counter* shared = reg.counter("shared");
+  obs::Histogram* hist = reg.histogram("latency");
+  constexpr std::size_t kIters = 10'000;
+  // Same shape as RedoApplyPlan::apply_run: one pre-resolved instrument,
+  // hammered from the worker pool with relaxed atomics.
+  parallel_for(kIters, 4, [&](std::size_t i) {
+    shared->inc();
+    hist->record(i % 97);
+    reg.counter("registered concurrently " + std::to_string(i % 7))->inc();
+  });
+  EXPECT_EQ(shared->value(), kIters);
+  EXPECT_EQ(hist->count(), kIters);
+  std::uint64_t from_named = 0;
+  for (int k = 0; k < 7; ++k) {
+    from_named +=
+        reg.counter("registered concurrently " + std::to_string(k))->value();
+  }
+  EXPECT_EQ(from_named, kIters);
+}
+
+TEST(MetricsRegistry, HistogramPercentilesAndBounds) {
+  obs::Histogram hist;
+  for (std::uint64_t v = 1; v <= 1000; ++v) hist.record(v);
+  EXPECT_EQ(hist.count(), 1000u);
+  EXPECT_EQ(hist.min(), 1u);
+  EXPECT_EQ(hist.max(), 1000u);
+  EXPECT_DOUBLE_EQ(hist.mean(), 500.5);
+  // Power-of-two buckets: percentiles land on the right bucket boundary.
+  EXPECT_GE(hist.percentile(0.99), 512u);
+  EXPECT_LE(hist.percentile(0.50), 512u);
+}
+
+// --- wait events -----------------------------------------------------------
+
+TEST(WaitEvents, ScopeChargesSimulatedTime) {
+  sim::VirtualClock clock;
+  obs::WaitEventTable waits;
+  {
+    WaitScope scope(&waits, &clock, WaitEvent::kLogFileSync);
+    clock.advance_by(250);
+  }
+  {
+    WaitScope scope(&waits, &clock, WaitEvent::kLogFileSync);
+    clock.advance_by(750);
+  }
+  {
+    // Zero-length wait: not counted (the simulated clock never moved).
+    WaitScope scope(&waits, &clock, WaitEvent::kLogFileSync);
+  }
+  EXPECT_EQ(waits.total_waits(WaitEvent::kLogFileSync), 2u);
+  EXPECT_EQ(waits.time_waited(WaitEvent::kLogFileSync), 1000u);
+  EXPECT_EQ(waits.max_wait(WaitEvent::kLogFileSync), 750u);
+  EXPECT_EQ(waits.total_waits(WaitEvent::kBufferBusy), 0u);
+}
+
+TEST(WaitEvents, CommitPathChargesLogFileSync) {
+  testing::SimEnv env;
+  testing::SmallDb small(env);
+  engine::Database& db = *small.db;
+
+  auto txn = db.begin();
+  ASSERT_TRUE(txn.is_ok());
+  ASSERT_TRUE(db.insert(txn.value(), small.table,
+                        testing::row("wait-probe")).is_ok());
+  ASSERT_TRUE(db.commit(txn.value()).is_ok());
+
+  const obs::WaitEventTable& waits = db.obs().waits();
+  EXPECT_GE(waits.total_waits(WaitEvent::kLogFileSync), 1u);
+  EXPECT_GT(waits.time_waited(WaitEvent::kLogFileSync), 0u);
+  EXPECT_GE(db.obs().registry().counter("user commits")->value(), 1u);
+}
+
+// --- recovery-phase tracer -------------------------------------------------
+
+TEST(RecoveryTracer, SpansTileTheTracedInterval) {
+  RecoveryTracer tracer;
+  tracer.start("test recovery", 1000);
+  tracer.enter(RecoveryPhase::kDetection, 1000);
+  tracer.enter(RecoveryPhase::kRestore, 3000);
+  tracer.enter(RecoveryPhase::kRedo, 4500);
+  tracer.enter(RecoveryPhase::kUndo, 9000);
+  tracer.enter(RecoveryPhase::kOpen, 9100);
+  tracer.exit(9600);
+  tracer.finish(10000);  // tail folded into a resume span
+
+  ASSERT_EQ(tracer.history().size(), 1u);
+  const obs::RecoveryTrace& trace = tracer.history().back();
+  EXPECT_TRUE(trace.finished);
+  EXPECT_EQ(trace.start, 1000u);
+  EXPECT_EQ(trace.end, 10000u);
+  EXPECT_EQ(trace.total(), trace.end - trace.start);
+  EXPECT_EQ(trace.phase_time(RecoveryPhase::kDetection), 2000u);
+  EXPECT_EQ(trace.phase_time(RecoveryPhase::kRestore), 1500u);
+  EXPECT_EQ(trace.phase_time(RecoveryPhase::kRedo), 4500u);
+  EXPECT_EQ(trace.phase_time(RecoveryPhase::kUndo), 100u);
+  EXPECT_EQ(trace.phase_time(RecoveryPhase::kOpen), 500u);
+  EXPECT_EQ(trace.phase_time(RecoveryPhase::kResume), 400u);
+  // Spans are contiguous: each begins where the previous one ended.
+  for (std::size_t i = 1; i < trace.spans.size(); ++i) {
+    EXPECT_EQ(trace.spans[i].start, trace.spans[i - 1].end);
+  }
+}
+
+TEST(RecoveryTracer, CrashRecoverySpansSumToStartupTime) {
+  testing::SimEnv env;
+  engine::DatabaseConfig cfg = testing::small_db_config();
+  Observability stats_area;
+  cfg.obs = &stats_area;
+
+  SimTime crash_time = 0;
+  {
+    testing::SmallDb small(env, cfg);
+    engine::Database& db = *small.db;
+    for (int i = 0; i < 20; ++i) {
+      auto txn = db.begin();
+      ASSERT_TRUE(txn.is_ok());
+      ASSERT_TRUE(db.insert(txn.value(), small.table,
+                            testing::row("r" + std::to_string(i))).is_ok());
+      ASSERT_TRUE(db.commit(txn.value()).is_ok());
+    }
+    ASSERT_TRUE(db.shutdown_abort().is_ok());
+    crash_time = env.clock.now();
+  }
+
+  engine::Database restarted(&env.host, &env.sched, cfg);
+  ASSERT_TRUE(restarted.startup().is_ok());
+  const SimTime up_at = env.clock.now();
+
+  // The self-owned startup trace covers exactly [crash, open] and its
+  // spans tile it: restore + redo + undo + open == elapsed, to the tick.
+  const obs::RecoveryTrace* trace = stats_area.tracer().latest();
+  ASSERT_NE(trace, nullptr);
+  EXPECT_TRUE(trace->finished);
+  EXPECT_EQ(trace->label, "instance recovery");
+  EXPECT_GE(trace->start, crash_time);
+  EXPECT_EQ(trace->end, up_at);
+  EXPECT_EQ(trace->total(), trace->end - trace->start);
+  EXPECT_GT(trace->phase_time(RecoveryPhase::kRestore), 0u);
+  EXPECT_GT(trace->phase_time(RecoveryPhase::kRedo), 0u);
+  EXPECT_EQ(trace->phase_time(RecoveryPhase::kDetection), 0u);
+
+  EXPECT_GE(stats_area.registry().counter("instance recoveries")->value(),
+            1u);
+  EXPECT_GT(
+      stats_area.registry().counter("recovery records replayed")->value(),
+      0u);
+}
+
+// --- snapshot + JSON round-trip -------------------------------------------
+
+TEST(MetricsSnapshot, JsonRoundTripIsLossless) {
+  sim::VirtualClock clock;
+  Observability stats_area;
+  stats_area.registry().counter("user commits")->inc(42);
+  stats_area.registry().counter("weird \"name\"\n\t\\slash")->inc();
+  stats_area.registry().gauge("cache pages")->set(-7);
+  obs::Histogram* hist = stats_area.registry().histogram("client response");
+  hist->record(10);
+  hist->record(1000);
+  {
+    WaitScope scope(&stats_area.waits(), &clock, WaitEvent::kCheckpointWait);
+    clock.advance_by(123);
+  }
+  RecoveryTracer& tracer = stats_area.tracer();
+  tracer.start("media recovery", 500);
+  tracer.enter(RecoveryPhase::kRestore, 500);
+  tracer.enter(RecoveryPhase::kRedo, 900);
+  tracer.finish(1700);
+  tracer.start("open trace", 2000);
+  tracer.enter(RecoveryPhase::kOpen, 2000);
+
+  const MetricsSnapshot snap = stats_area.snapshot();
+  const std::string json = snap.to_json();
+  auto parsed = MetricsSnapshot::from_json(json);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  EXPECT_TRUE(parsed.value() == snap);
+  // Round-tripping the re-serialized form is a fixed point.
+  EXPECT_EQ(parsed.value().to_json(), json);
+
+  EXPECT_EQ(snap.counter("user commits"), 42u);
+  const obs::WaitEventRow* wait =
+      snap.wait(obs::to_string(WaitEvent::kCheckpointWait));
+  ASSERT_NE(wait, nullptr);
+  EXPECT_EQ(wait->time_us, 123u);
+  ASSERT_EQ(snap.recovery.size(), 2u);
+  EXPECT_TRUE(snap.recovery[0].finished);
+  EXPECT_FALSE(snap.recovery[1].finished);
+}
+
+TEST(MetricsSnapshot, FromJsonRejectsMalformedInput) {
+  EXPECT_FALSE(MetricsSnapshot::from_json("").is_ok());
+  EXPECT_FALSE(MetricsSnapshot::from_json("{").is_ok());
+  EXPECT_FALSE(MetricsSnapshot::from_json("[]").is_ok());
+  EXPECT_FALSE(MetricsSnapshot::from_json("{\"counters\": 3}").is_ok());
+  const std::string good = Observability{}.snapshot().to_json();
+  EXPECT_TRUE(MetricsSnapshot::from_json(good).is_ok());
+  EXPECT_FALSE(MetricsSnapshot::from_json(good + "trailing").is_ok());
+}
+
+// --- V$ views over the admin shell ----------------------------------------
+
+TEST(AdminShellViews, SysstatSystemEventAndRecoveryProgress) {
+  testing::SimEnv env;
+  testing::SmallDb small(env);
+  engine::Database& db = *small.db;
+  auto txn = db.begin();
+  ASSERT_TRUE(txn.is_ok());
+  ASSERT_TRUE(db.insert(txn.value(), small.table,
+                        testing::row("view-probe")).is_ok());
+  ASSERT_TRUE(db.commit(txn.value()).is_ok());
+
+  engine::AdminShell shell(&db);
+  auto sysstat = shell.execute("V$SYSSTAT");
+  ASSERT_TRUE(sysstat.is_ok());
+  EXPECT_NE(sysstat.value().find("user commits"), std::string::npos);
+
+  auto events = shell.execute("SELECT * FROM V$SYSTEM_EVENT");
+  ASSERT_TRUE(events.is_ok());
+  EXPECT_NE(events.value().find("log_file_sync"), std::string::npos);
+
+  auto progress = shell.execute("v$recovery_progress");
+  ASSERT_TRUE(progress.is_ok());
+  EXPECT_NE(progress.value().find("no recovery recorded"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace vdb
