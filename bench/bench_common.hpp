@@ -44,6 +44,18 @@ inline ExperimentOptions paper_options(const RecoveryConfigSpec& config) {
   opts.config = config;
   opts.duration = bench_duration();
   opts.seed = 20020623;  // DSN 2002
+  // VDB_RESTART_MODE=m1|m2|m3|m4 (or the long names) runs the whole bench
+  // under that instance-restart scheme — the smoke hook for the restart-
+  // mode study without touching each binary's matrix.
+  if (const char* env = std::getenv("VDB_RESTART_MODE")) {
+    engine::RestartMode mode;
+    if (engine::parse_restart_mode(env, &mode)) {
+      opts.restart_mode = mode;
+    } else {
+      std::fprintf(stderr, "warning: bad VDB_RESTART_MODE '%s' ignored\n",
+                   env);
+    }
+  }
   return opts;
 }
 
@@ -224,6 +236,16 @@ class BenchRun {
           static_cast<unsigned long long>(r.io_retry_exhausted),
           static_cast<unsigned long long>(r.bad_blocks_found),
           static_cast<unsigned long long>(r.blocks_repaired));
+      // Restart-mode study fields: every row carries the configured mode
+      // plus the open / first-commit split of the recovery time (both zero
+      // when no fault was injected or the run never recovered early).
+      std::fprintf(f,
+                   "\"restart_mode\": \"%s\", \"open_time_us\": %llu, "
+                   "\"first_commit_us\": %llu, \"recovery_retries\": %llu, ",
+                   json_escape(r.restart_mode).c_str(),
+                   static_cast<unsigned long long>(r.open_time),
+                   static_cast<unsigned long long>(r.first_commit_time),
+                   static_cast<unsigned long long>(r.recovery_retries));
       // Per-phase recovery decomposition (simulated microseconds — spans
       // tile the trace, so the non-detection values sum exactly to
       // recovery_seconds) and the full V$-style statistics snapshot.

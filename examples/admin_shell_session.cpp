@@ -45,6 +45,9 @@ int main() {
   run("SHOW DATAFILES");
   run("ARCHIVE LOG LIST");
   run("CHECKPOINT");
+  run("SHOW RESTART MODE");
+  run("ALTER DATABASE SET RESTART MODE m3");
+  run("SHOW RESTART MODE");
 
   // The operator fault, as the script the paper's injector would run:
   faults::FaultSpec fault;

@@ -60,6 +60,28 @@ for name in $benches; do
   echo "bench_smoke: OK   bench_$name"
 done
 
+# Restart-mode smoke: the table3 matrix again under the on-demand (M3)
+# restart scheme, driving the early-open engine path (lazy page recovery,
+# trickle sweeper, commit_lsn-clamped checkpoints) through every
+# configuration. Runs in its own scratch subdir so the plain pass's JSON
+# stays the canonical bench_table3 artifact; the m3 drop is copied out
+# under its own name for check_results.py.
+echo "bench_smoke: running bench_table3 (VDB_RESTART_MODE=m3) ..."
+mkdir -p m3_smoke
+if ! (cd m3_smoke && VDB_RESTART_MODE=m3 "$bench_dir/bench_table3" \
+    > ../bench_table3_m3.out 2>&1); then
+  echo "bench_smoke: FAIL bench_table3 m3 (non-zero exit)"
+  tail -20 bench_table3_m3.out
+  failed=1
+elif [ ! -s m3_smoke/results/bench_table3.json ]; then
+  echo "bench_smoke: FAIL bench_table3 m3 (missing JSON drop)"
+  failed=1
+else
+  mkdir -p results
+  cp m3_smoke/results/bench_table3.json results/bench_table3_m3.json
+  echo "bench_smoke: OK   bench_table3 m3"
+fi
+
 # bench_micro is google-benchmark: emit its JSON via the native flag.
 micro="$bench_dir/bench_micro"
 if [ ! -x "$micro" ]; then

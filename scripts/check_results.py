@@ -24,6 +24,8 @@ import sys
 
 METRIC_SECTIONS = ("counters", "gauges", "wait_events", "histograms",
                    "recovery")
+RESTART_MODES = ("m1_traditional", "m2_early_open", "m3_on_demand",
+                 "m4_mixed")
 # recovery_seconds is printed with 6 significant digits, so a 600 s
 # headline carries up to 5e-4 s of rounding; one simulated tick is 1e-6 s.
 HEADLINE_TOLERANCE_SECONDS = 1e-3
@@ -66,6 +68,23 @@ def check_bench_run(path: pathlib.Path, doc: dict) -> list[str]:
             if section not in metrics:
                 errors.append(f"{path}: run '{label}' metrics missing "
                               f"'{section}'")
+        # Restart-mode study fields ride on every row: the configured mode
+        # and the open / first-commit split of the recovery time.
+        if run.get("restart_mode") not in RESTART_MODES:
+            errors.append(f"{path}: run '{label}' restart_mode "
+                          f"{run.get('restart_mode')!r} not one of "
+                          f"{RESTART_MODES}")
+        for field in ("open_time_us", "first_commit_us"):
+            value = run.get(field)
+            if not isinstance(value, int) or value < 0:
+                errors.append(f"{path}: run '{label}' {field} "
+                              f"{value!r} is not a non-negative integer")
+        if (isinstance(run.get("open_time_us"), int)
+                and isinstance(run.get("first_commit_us"), int)
+                and run["open_time_us"] > run["first_commit_us"]):
+            errors.append(f"{path}: run '{label}' opens after its first "
+                          f"commit ({run['open_time_us']} > "
+                          f"{run['first_commit_us']} us)")
         if not run.get("fault_injected") or not run.get("recovered"):
             continue
         phases = run.get("recovery_phase_us")

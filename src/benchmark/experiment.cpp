@@ -41,6 +41,8 @@ engine::DatabaseConfig make_db_config(const ExperimentOptions& opts) {
   cfg.checkpoint_timeout =
       static_cast<SimDuration>(opts.config.timeout_sec) * kSecond;
   cfg.storage.cache_pages = opts.cache_pages;
+  cfg.restart_mode = opts.restart_mode;
+  cfg.early_open_stall = opts.early_open_stall;
   return cfg;
 }
 
@@ -114,6 +116,7 @@ Result<ExperimentResult> Experiment::run() {
   const SimTime end = start + opts_.duration;
   ExperimentResult result;
   result.workload_start = start;
+  result.restart_mode = engine::to_string(opts_.restart_mode);
 
   const Lsn redo_start_lsn = db->redo().next_lsn();
   auto accumulate_engine = [&](engine::Database& d) {
@@ -130,11 +133,22 @@ Result<ExperimentResult> Experiment::run() {
   auto finish_recovery = [&](bool procedure_ok, SimTime recovery_start,
                              Lsn recovered_to,
                              SimTime failure_time) -> Status {
-    // The recovery procedure proper is over: close its open phase span so
-    // the remaining interval (up to the first post-recovery commit) is
-    // folded into the resume phase by finish().
+    // The recovery procedure proper is over: the database is open for
+    // service (or the procedure failed). Everything from here to the first
+    // post-recovery commit belongs to the resume phase; the span is left
+    // OPEN (entered, not exited) so early-open restart modes can interleave
+    // on_demand spans into it while the workload runs.
     obs::RecoveryTracer& tracer = stats_area->tracer();
-    if (tracer.active()) tracer.exit(clock.now());
+    const SimTime open_at = clock.now();
+    if (tracer.active()) {
+      tracer.enter(obs::RecoveryPhase::kResume, open_at);
+    }
+    if (procedure_ok) {
+      result.open_time = open_at > recovery_start ? open_at - recovery_start
+                                                  : 0;
+    } else {
+      result.open_time = end > recovery_start ? end - recovery_start : 0;
+    }
     if (!procedure_ok) {
       // Nothing was recovered: every committed write transaction is lost.
       recovered_to = 0;
@@ -153,6 +167,7 @@ Result<ExperimentResult> Experiment::run() {
         const SimTime first_commit =
             driver.commits()[commits_before].commit_time;
         result.recovery_time = first_commit - recovery_start;
+        result.first_commit_time = result.recovery_time;
         if (tracer.active()) tracer.finish(first_commit);
       } else {
         // Out of experiment window before service came back — the
@@ -160,6 +175,7 @@ Result<ExperimentResult> Experiment::run() {
         result.recovered = false;
         result.recovery_time =
             end > recovery_start ? end - recovery_start : 0;
+        result.first_commit_time = result.recovery_time;
         if (tracer.active()) tracer.finish(clock.now());
       }
       if (!resume.is_ok() && clock.now() < end) {
@@ -169,6 +185,7 @@ Result<ExperimentResult> Experiment::run() {
     } else {
       result.recovered = false;
       result.recovery_time = end > recovery_start ? end - recovery_start : 0;
+      result.first_commit_time = result.recovery_time;
       if (tracer.active()) tracer.finish(clock.now());
     }
     return Status::ok();
@@ -467,10 +484,15 @@ Result<ExperimentResult> Experiment::run() {
   result.committed = driver.stats().committed;
   result.intentional_rollbacks = driver.stats().intentional_rollbacks;
   result.failed_attempts = driver.stats().failed_attempts;
+  result.recovery_retries = driver.stats().recovery_retries;
   result.series = driver.series();
   result.series_interval = driver.series_interval();
 
   if (final_db->is_open()) {
+    // Early-open restart: drain any redo still pending so the consistency
+    // check (and any state comparison the caller runs) sees the fully
+    // converged end state.
+    VDB_RETURN_IF_ERROR(final_db->complete_restart_recovery());
     tpcc::ConsistencyChecker checker(&tdb);
     auto report = checker.run_all();
     if (!report.is_ok()) return report.status();

@@ -26,6 +26,7 @@
 
 #include "benchmark/recovery_configs.hpp"
 #include "common/status.hpp"
+#include "engine/db_config.hpp"
 #include "faults/extended_faults.hpp"
 #include "faults/fault_injector.hpp"
 #include "obs/observability.hpp"
@@ -59,6 +60,14 @@ struct ExperimentOptions {
   std::uint32_t datafile_blocks = 512;  // initial size; files autoextend
   /// Buffer cache frames (the SGA sizing knob; ablation target).
   std::uint32_t cache_pages = 2048;
+  /// Instance-restart scheme (M1 traditional … M4 mixed; see RestartMode).
+  /// Affects crash-recovery experiments only: early modes open the
+  /// database right after log analysis and recover pages on demand / in
+  /// the background.
+  engine::RestartMode restart_mode = engine::RestartMode::kM1Traditional;
+  /// M2: stall on pending pages instead of rejecting with
+  /// kRecoveryRequired.
+  bool early_open_stall = false;
 };
 
 struct ExperimentResult {
@@ -84,6 +93,16 @@ struct ExperimentResult {
   bool recovery_complete = true;    // false = incomplete (lossy) recovery
   SimDuration recovery_time = 0;    // procedure start → first commit
   SimDuration detection_delay = 0;  // failure surfaced → procedure start
+  /// Restart-mode study (per-mode Table 3 matrix): the configured mode as
+  /// a string, procedure start → database open for service, and procedure
+  /// start → first post-recovery commit. For M1 open_time ≈ the full
+  /// redo+undo time; early modes open far sooner and pay the difference
+  /// as on-demand/background page recovery afterwards.
+  std::string restart_mode = "m1_traditional";
+  SimDuration open_time = 0;
+  SimDuration first_commit_time = 0;
+  /// Transactions bounced by the M2 early-open gate and retried.
+  std::uint64_t recovery_retries = 0;
   std::uint64_t lost_committed = 0;
   std::uint64_t archives_read = 0;
 

@@ -129,6 +129,21 @@ Result<std::string> AdminShell::execute(const std::string& command) {
       }
       return bad_syntax(command);
     }
+    if (kind == "DATABASE" && tokens.size() >= 6 &&
+        upper(tokens[2]) == "SET" && upper(tokens[3]) == "RESTART" &&
+        upper(tokens[4]) == "MODE") {
+      RestartMode mode;
+      std::string arg = tokens[5];
+      std::transform(arg.begin(), arg.end(), arg.begin(),
+                     [](unsigned char c) { return std::tolower(c); });
+      if (!parse_restart_mode(arg, &mode)) {
+        return make_error(ErrorCode::kInvalidArgument,
+                          "unknown restart mode: " + tokens[5]);
+      }
+      db_->set_restart_mode(mode);
+      return "restart mode set to " + std::string(to_string(mode)) +
+             " (takes effect at next instance recovery)";
+    }
     if (kind == "ROLLBACK" && tokens.size() >= 5 &&
         upper(tokens[2]) == "SEGMENT") {
       auto index = parse_u32(tokens[3]);
@@ -179,6 +194,16 @@ Result<std::string> AdminShell::execute(const std::string& command) {
         out << file.id.value << " " << file.path << " " << file.blocks
             << " blocks " << storage::to_string(file.status) << "\n";
       }
+      return out.str();
+    }
+    if (what == "RESTART" && tokens.size() >= 3 &&
+        upper(tokens[2]) == "MODE") {
+      out << "restart mode: " << to_string(db_->config().restart_mode);
+      if (const RestartCoordinator* rc = db_->restart_coordinator()) {
+        out << " (restart recovery pending: " << rc->pending_pages_count()
+            << " pages)";
+      }
+      out << "\n";
       return out.str();
     }
     if (what == "TABLESPACES") {
@@ -272,6 +297,14 @@ Result<std::string> AdminShell::execute(const std::string& command) {
     };
     for (const auto& trace : tracer.history()) print(trace, false);
     if (tracer.active()) print(*tracer.current(), true);
+    // Early-open restart progress: how much redo is still pending and
+    // where the drained pages were recovered (foreground vs sweeper).
+    if (const RestartCoordinator* rc = db_->restart_coordinator()) {
+      out << "restart mode " << to_string(rc->mode())
+          << "  pages pending=" << rc->pending_pages_count()
+          << " recovered_on_demand=" << rc->recovered_on_demand()
+          << " recovered_background=" << rc->recovered_background() << "\n";
+    }
     if (out.str().empty()) return std::string{"no recovery recorded\n"};
     return out.str();
   }

@@ -25,7 +25,13 @@ Database::Database(sim::Host* host, sim::Scheduler* scheduler,
   callbacks.on_group_finalized = [this](const wal::RedoGroup& group) {
     on_group_finalized(group);
   };
-  callbacks.force_checkpoint = [this] { (void)full_checkpoint(); };
+  callbacks.force_checkpoint = [this] {
+    // A log switch can only reuse a group once the recovery position moves
+    // past it, and the position is clamped to the restart commit_lsn while
+    // early-open redo is pending — so finish that replay first.
+    (void)complete_restart_recovery();
+    (void)full_checkpoint();
+  };
   redo_ = std::make_unique<wal::RedoLog>(&host_->fs(), cfg_.redo,
                                          std::move(callbacks));
   archiver_ = std::make_unique<wal::Archiver>(&host_->fs(), redo_.get());
@@ -107,6 +113,15 @@ Status Database::startup() {
   if (on_mounted_) on_mounted_(*this);
   VDB_RETURN_IF_ERROR(rebuild_object_state());
 
+  // Early-open restart: from here on any fetch of a page with pending redo
+  // rolls it forward on the spot. Installed after the rebuild so the
+  // rebuild's own scan (which patches pending pages via overlay) does not
+  // trigger eager recovery.
+  if (restart_ != nullptr) {
+    storage_->set_fetch_gate(
+        [this](PageId pid) { return restart_->on_fetch(pid); });
+  }
+
   // Re-archive finalized groups the crashed instance had not copied yet.
   if (cfg_.redo.archive_mode) {
     for (const auto& group : redo_->groups()) {
@@ -139,6 +154,7 @@ Status Database::startup() {
 Status Database::shutdown() {
   VDB_RETURN_IF_ERROR(ensure_open());
   cancel_background_tasks();
+  VDB_RETURN_IF_ERROR(complete_restart_recovery());
   VDB_RETURN_IF_ERROR(full_checkpoint());
   advance(cfg_.cost.instance_shutdown);
   state_ = InstanceState::kClosed;
@@ -155,6 +171,11 @@ Status Database::shutdown_abort() {
   redo_->discard_unflushed();
   storage_->cache().discard_all();
   txns_.clear();
+  // Pending restart redo dies with the instance; the recovery position was
+  // clamped below it at every checkpoint, so the next incarnation's scan
+  // re-stages it from the log.
+  storage_->set_fetch_gate(nullptr);
+  restart_.reset();
   state_ = InstanceState::kCrashed;
   return Status::ok();
 }
@@ -197,6 +218,13 @@ Status Database::full_checkpoint() {
   wal::LogRecord rec;
   rec.type = wal::LogRecordType::kCheckpoint;
   rec.recovery_start_lsn = redo_->next_lsn();
+  if (restart_ != nullptr && restart_->has_pending()) {
+    // Early-open restart: records below commit_lsn are applied, records
+    // above it may still be pending in the retained plan — a crash now must
+    // re-scan from there, not from this checkpoint.
+    rec.recovery_start_lsn =
+        std::min(rec.recovery_start_lsn, restart_->commit_lsn());
+  }
   rec.active_txns = txns_.snapshot_active();
   redo_->append(rec);
   VDB_RETURN_IF_ERROR(redo_->flush());
@@ -221,6 +249,10 @@ Status Database::incremental_checkpoint() {
   const Lsn min_dirty = storage_->cache().min_dirty_rec_lsn();
   rec.recovery_start_lsn =
       min_dirty == kInvalidLsn ? redo_->next_lsn() : min_dirty;
+  if (restart_ != nullptr && restart_->has_pending()) {
+    rec.recovery_start_lsn =
+        std::min(rec.recovery_start_lsn, restart_->commit_lsn());
+  }
   rec.active_txns = txns_.snapshot_active();
   redo_->append(rec);
   VDB_RETURN_IF_ERROR(redo_->flush());
@@ -297,9 +329,61 @@ void Database::schedule_background_tasks() {
       if (state_ == InstanceState::kOpen) (void)incremental_checkpoint();
     });
   }
+  if (restart_ != nullptr) schedule_restart_sweeper();
 }
 
-void Database::cancel_background_tasks() { ckpt_timer_.cancel(); }
+void Database::cancel_background_tasks() {
+  ckpt_timer_.cancel();
+  restart_timer_.cancel();
+}
+
+void Database::schedule_restart_sweeper() {
+  // Mode defaults: M2 promises its backlog drains fast (access to pending
+  // pages is rejected, so the sweeper is the only way forward); M3 leans on
+  // on-demand recovery and only trickles; M4 sits in between. Explicit
+  // config knobs override either half.
+  SimDuration interval = 0;
+  std::uint32_t batch = 0;
+  switch (restart_->mode()) {
+    case RestartMode::kM2EarlyOpen:
+      interval = 50 * kMillisecond;
+      batch = 64;
+      break;
+    case RestartMode::kM4Mixed:
+      interval = 100 * kMillisecond;
+      batch = 32;
+      break;
+    case RestartMode::kM3OnDemand:
+    default:
+      interval = 1 * kSecond;
+      batch = 8;
+      break;
+  }
+  if (cfg_.restart_sweep_interval > 0) interval = cfg_.restart_sweep_interval;
+  if (cfg_.restart_sweep_batch > 0) batch = cfg_.restart_sweep_batch;
+  restart_timer_ = scheduler_->schedule_every(
+      interval, [this, batch] { restart_sweep_tick(batch); });
+}
+
+void Database::restart_sweep_tick(std::uint32_t batch) {
+  if (restart_ == nullptr || state_ != InstanceState::kOpen) return;
+  if (restart_->has_pending()) (void)restart_->sweep(batch);
+  if (!restart_->has_pending()) {
+    // Backlog drained: tear the coordinator down and checkpoint so the
+    // replay window finally collapses to the live position.
+    (void)complete_restart_recovery();
+    (void)full_checkpoint();
+  }
+}
+
+Status Database::complete_restart_recovery() {
+  if (restart_ == nullptr) return Status::ok();
+  VDB_RETURN_IF_ERROR(restart_->complete());
+  storage_->set_fetch_gate(nullptr);
+  restart_timer_.cancel();
+  restart_.reset();
+  return Status::ok();
+}
 
 // --- DDL / administration -------------------------------------------------------
 
@@ -568,6 +652,12 @@ Result<RowId> Database::insert(TxnId txn, TableId table,
   if (!slot.is_ok()) return slot.status();
   const RowId rid = slot.value().rid;
 
+  // Early-open restart gate, checked before anything is logged or recorded
+  // for undo: a rejected insert must leave no trace.
+  if (restart_ != nullptr) {
+    VDB_RETURN_IF_ERROR(restart_->check_access(rid.page));
+  }
+
   if (slot.value().needs_format) {
     Lsn lsn;
     if (logging) {
@@ -628,6 +718,12 @@ Status Database::update(TxnId txn, TableId table, RowId rid,
   }
   advance(cfg_.cost.cpu_per_write_op);
 
+  // Early-open restart gate: reject (M2) or roll the page forward before
+  // any lock, log record, or undo entry exists for this operation.
+  if (restart_ != nullptr) {
+    VDB_RETURN_IF_ERROR(restart_->check_access(rid.page));
+  }
+
   VDB_RETURN_IF_ERROR(
       locks_.acquire(txn, txn::LockTarget::for_row(table, rid),
                      txn::LockMode::kExclusive));
@@ -670,6 +766,10 @@ Status Database::erase(TxnId txn, TableId table, RowId rid) {
   }
   advance(cfg_.cost.cpu_per_write_op);
 
+  if (restart_ != nullptr) {
+    VDB_RETURN_IF_ERROR(restart_->check_access(rid.page));
+  }
+
   VDB_RETURN_IF_ERROR(
       locks_.acquire(txn, txn::LockTarget::for_row(table, rid),
                      txn::LockMode::kExclusive));
@@ -709,6 +809,9 @@ Result<std::vector<std::uint8_t>> Database::read(TxnId txn, TableId table,
     return make_error(ErrorCode::kInternal, "missing heap for table");
   }
   advance(cfg_.cost.cpu_per_read_op);
+  if (restart_ != nullptr) {
+    VDB_RETURN_IF_ERROR(restart_->check_access(rid.page));
+  }
   VDB_RETURN_IF_ERROR(locks_.acquire(
       txn, txn::LockTarget::for_row(table, rid), txn::LockMode::kShared));
   stats_.rows_read += 1;
@@ -917,7 +1020,8 @@ Status Database::apply_record(const wal::LogRecord& rec) {
 }
 
 RedoApplyPlan Database::make_replay_plan(
-    std::function<void(Lsn, const Status&)> on_skip) {
+    std::function<void(Lsn, const Status&)> on_skip,
+    std::function<void(std::uint64_t)> charge_apply) {
   RedoApplyPlan::Hooks hooks;
   hooks.storage = storage_.get();
   hooks.serial_apply = [this](const wal::LogRecord& rec) {
@@ -926,6 +1030,7 @@ RedoApplyPlan Database::make_replay_plan(
   hooks.on_skip = std::move(on_skip);
   hooks.jobs = cfg_.replay_jobs;
   hooks.obs = obs_;
+  hooks.charge_apply = std::move(charge_apply);
   return RedoApplyPlan(std::move(hooks));
 }
 
@@ -958,18 +1063,36 @@ Result<Lsn> Database::instance_recovery() {
   // Two-phase replay: the scan below does the serial bookkeeping (loser
   // tracking, clock charges) and stages page records; the plan applies them
   // partitioned by page across workers at each drain point.
-  RedoApplyPlan plan = make_replay_plan([&](Lsn lsn, const Status& st) {
-    skipped += 1;
-    if (skipped <= 8) {
-      std::fprintf(stderr, "[instance-recovery] skipped record lsn=%llu: %s\n",
-                   static_cast<unsigned long long>(lsn),
-                   st.to_string().c_str());
-    }
-  });
+  //
+  // Early-open modes (M2-M4) split the per-record cost: the scan charges
+  // only the analysis share, and the plan charges the apply share when a
+  // run actually drains — at a DDL barrier, on demand after open, or from
+  // the background sweeper. A fully drained early restart has consumed
+  // exactly the CPU an M1 restart did.
+  const bool early = cfg_.restart_mode != RestartMode::kM1Traditional;
+  std::function<void(std::uint64_t)> charge_apply;
+  if (early) {
+    charge_apply = [this](std::uint64_t n) {
+      advance(cfg_.cost.cpu_per_redo_apply * n);
+    };
+  }
+  auto plan_owner = std::make_unique<RedoApplyPlan>(make_replay_plan(
+      [&](Lsn lsn, const Status& st) {
+        skipped += 1;
+        if (skipped <= 8) {
+          std::fprintf(stderr,
+                       "[instance-recovery] skipped record lsn=%llu: %s\n",
+                       static_cast<unsigned long long>(lsn),
+                       st.to_string().c_str());
+        }
+      },
+      std::move(charge_apply)));
+  RedoApplyPlan& plan = *plan_owner;
 
   Status read_st = redo_->read_online(start, [&](const wal::LogRecord& rec) {
     records += 1;
-    advance(cfg_.cost.cpu_per_replay_record);
+    advance(early ? cfg_.cost.cpu_per_analysis_record
+                  : cfg_.cost.cpu_per_replay_record);
     recovered_to = std::max(recovered_to, rec.lsn);
     if (rec.txn.valid() && rec.txn.value > max_txn) max_txn = rec.txn.value;
 
@@ -1025,7 +1148,9 @@ Result<Lsn> Database::instance_recovery() {
     }
     return true;
   });
-  if (read_st.is_ok() && inner.is_ok()) {
+  if (read_st.is_ok() && inner.is_ok() && !early) {
+    // M1: the whole backlog drains before the database opens. Early modes
+    // keep the plan staged — it moves into the restart coordinator below.
     auto stats = plan.drain();
     if (!stats.is_ok()) inner = stats.status();
   }
@@ -1043,6 +1168,20 @@ Result<Lsn> Database::instance_recovery() {
   if (tracer != nullptr) {
     tracer->enter(obs::RecoveryPhase::kUndo, scheduler_->now());
   }
+  if (early) {
+    // Undo probes and compensates on the loser pages directly, so those
+    // pages must be current before rollback touches them — drain exactly
+    // their runs now (charged via charge_apply) and leave the rest pending.
+    for (const auto& [txn_id, track] : live) {
+      for (const auto& op : track.ops) {
+        auto stats = plan.drain_page(op.change.rid.page);
+        if (!stats.is_ok()) {
+          set_recovering(false);
+          return stats.status();
+        }
+      }
+    }
+  }
   for (auto it = live.rbegin(); it != live.rend(); ++it) {
     if (it->second.ops.empty()) continue;
     metrics_.loser_txns->inc();
@@ -1053,12 +1192,22 @@ Result<Lsn> Database::instance_recovery() {
   txns_.restore_next_id(max_txn + 1);
 
   set_recovering(false);
-  // Checkpoint so the replay window collapses; requires OPEN for the
-  // statistics but state transitions are managed by startup(). Counts as
-  // part of the open phase for tracing purposes.
   if (tracer != nullptr) {
     tracer->enter(obs::RecoveryPhase::kOpen, scheduler_->now());
   }
+  if (early && plan.has_pending()) {
+    // Early open: hand the staged backlog to the restart coordinator and
+    // skip the checkpoint — the recovery position must stay below the
+    // commit_lsn watermark until the last run drains (the sweeper's
+    // completion checkpoint collapses the window then).
+    restart_ = std::make_unique<RestartCoordinator>(
+        cfg_.restart_mode, cfg_.early_open_stall, std::move(plan_owner),
+        obs_, &scheduler_->clock());
+    return recovered_to;
+  }
+  // Checkpoint so the replay window collapses; requires OPEN for the
+  // statistics but state transitions are managed by startup(). Counts as
+  // part of the open phase for tracing purposes.
   VDB_RETURN_IF_ERROR(full_checkpoint());
   return recovered_to;
 }
@@ -1107,26 +1256,65 @@ Status Database::rebuild_object_state() {
     heaps_[def->id.value] = std::make_unique<storage::TableHeap>(
         storage_.get(), def->id, def->tablespace, def->slot_size);
   }
+  const auto register_one = [&](PageId pid, const storage::Page& page) {
+    auto it = heaps_.find(page.owner().value);
+    if (it == heaps_.end()) return;  // dropped table: leaked pages
+    it->second->register_page(pid, page.used_count() < page.capacity(),
+                              page.used_count());
+    if (rebuild_hook_) {
+      for (std::uint16_t slot = 0; slot < page.capacity(); ++slot) {
+        if (!page.slot_used(slot)) continue;
+        auto payload = page.read_slot(slot);
+        if (payload.is_ok()) {
+          rebuild_hook_(page.owner(), RowId{pid, slot}, payload.value());
+        }
+      }
+    }
+  };
+  // Early-open restart: the raw datafile images this scan reads predate the
+  // redo still pending in the retained plan. Pages with a pending run are
+  // registered from an overlay-patched copy (the physical apply stays
+  // deferred); pending pages the scan never sees — freshly formatted past
+  // the on-disk image, or NOLOGGING-implicit — are recovered eagerly below
+  // and registered from the cache.
+  std::unordered_map<PageId, bool> visited_pending;
+  if (restart_ != nullptr) {
+    for (PageId pid : restart_->pending_pages()) visited_pending[pid] = false;
+  }
   for (const auto& file : storage_->files()) {
     if (file.dropped || file.status != storage::FileStatus::kOnline) continue;
     VDB_RETURN_IF_ERROR(storage_->scan_file(
         file.id, [&](std::uint32_t block, const storage::Page& page) {
-          auto it = heaps_.find(page.owner().value);
-          if (it == heaps_.end()) return;  // dropped table: leaked pages
           const PageId pid{file.id, block};
-          it->second->register_page(pid, page.used_count() < page.capacity(),
-                                    page.used_count());
-          if (rebuild_hook_) {
-            for (std::uint16_t slot = 0; slot < page.capacity(); ++slot) {
-              if (!page.slot_used(slot)) continue;
-              auto payload = page.read_slot(slot);
-              if (payload.is_ok()) {
-                rebuild_hook_(page.owner(), RowId{pid, slot},
-                              payload.value());
-              }
-            }
+          auto pending = visited_pending.find(pid);
+          if (pending != visited_pending.end()) {
+            pending->second = true;
+            storage::Page patched = page;
+            restart_->overlay(pid, &patched);
+            register_one(pid, patched);
+            return;
           }
+          register_one(pid, page);
         }));
+  }
+  if (restart_ != nullptr) {
+    bool drained_any = false;
+    for (PageId pid : restart_->pending_pages()) {
+      auto pending = visited_pending.find(pid);
+      if (pending != visited_pending.end() && pending->second) continue;
+      VDB_RETURN_IF_ERROR(restart_->recover_page(pid));
+      drained_any = true;
+      auto ref = storage_->fetch(pid);
+      if (!ref.is_ok()) continue;  // skipped run (offline/missing file)
+      if (!ref.value().page()->formatted()) continue;
+      register_one(pid, *ref.value().page());
+    }
+    // recover_page hands the tracer back to the resume phase; the rebuild
+    // runs inside the open phase, so restore that attribution for the rest
+    // of startup.
+    if (drained_any && obs_->tracer().active()) {
+      obs_->tracer().enter(obs::RecoveryPhase::kOpen, scheduler_->now());
+    }
   }
   return Status::ok();
 }

@@ -30,6 +30,7 @@
 #include "engine/control_file.hpp"
 #include "engine/db_config.hpp"
 #include "engine/replay_plan.hpp"
+#include "engine/restart.hpp"
 #include "obs/observability.hpp"
 #include "sim/host.hpp"
 #include "sim/scheduler.hpp"
@@ -202,7 +203,8 @@ class Database {
   /// missing/offline datafiles. Worker count comes from
   /// DatabaseConfig::replay_jobs (0 = VDB_JOBS).
   RedoApplyPlan make_replay_plan(
-      std::function<void(Lsn, const Status&)> on_skip = nullptr);
+      std::function<void(Lsn, const Status&)> on_skip = nullptr,
+      std::function<void(std::uint64_t)> charge_apply = nullptr);
 
   /// Rebuilds table heaps (and fires the rebuild hook) by scanning every
   /// online datafile once.
@@ -224,6 +226,23 @@ class Database {
 
   /// Puts the engine in / out of recovery mode (offline files accessible).
   void set_recovering(bool on);
+
+  // --- early-open restart modes (M2-M4) ----------------------------------------
+
+  /// The live restart coordinator, non-null only while an early-open
+  /// restart (RestartMode M2-M4) still has redo pending after the database
+  /// opened. V$RECOVERY_PROGRESS reports its pending/recovered counts.
+  RestartCoordinator* restart_coordinator() { return restart_.get(); }
+
+  /// Drains every pending restart-recovery run and tears the coordinator
+  /// down (fetch gate uninstalled, sweeper cancelled). No-op in M1 or once
+  /// the sweeper already finished. Callers that need the replay window
+  /// collapsed checkpoint afterwards.
+  Status complete_restart_recovery();
+
+  /// ALTER DATABASE SET RESTART MODE: takes effect at the next instance
+  /// recovery (a restart already in progress keeps its mode).
+  void set_restart_mode(RestartMode mode) { cfg_.restart_mode = mode; }
 
   /// Mounts from an externally supplied control-file snapshot (restore from
   /// backup, stand-by instantiation) without opening.
@@ -265,6 +284,8 @@ class Database {
   void on_group_finalized(const wal::RedoGroup& group);
   void schedule_background_tasks();
   void cancel_background_tasks();
+  void schedule_restart_sweeper();
+  void restart_sweep_tick(std::uint32_t batch);
 
   Lsn pseudo_lsn() const;  // for NOLOGGING changes: below any future record
   void notify(const RowChange& change);
@@ -305,6 +326,11 @@ class Database {
   std::function<void(Database&)> on_mounted_;
   std::function<Status(Database&)> post_recovery_hook_;
   sim::EventHandle ckpt_timer_;
+  /// Early-open restart state: set by instance_recovery in modes M2-M4
+  /// while staged redo is still pending at open, torn down by
+  /// complete_restart_recovery() once the last run drains.
+  std::unique_ptr<RestartCoordinator> restart_;
+  sim::EventHandle restart_timer_;
   EngineStats stats_;
   std::uint64_t last_archived_seq_ = 0;
   InstanceState pre_recovery_state_ = InstanceState::kClosed;

@@ -48,6 +48,7 @@ void RedoApplyPlan::stage(const wal::LogRecord& rec) {
     Run run;
     run.page = page;
     runs_.push_back(std::move(run));
+    pending_runs_ += 1;
   }
   Run& run = runs_[it->second];
   run.items.push_back(idx);
@@ -122,30 +123,108 @@ void RedoApplyPlan::apply_run(Run& run) const {
 }
 
 Result<RedoApplyPlan::Stats> RedoApplyPlan::drain() {
+  if (pending_runs_ == 0) {
+    reset();
+    return Stats{};
+  }
+  std::vector<std::size_t> selected;
+  selected.reserve(pending_runs_);
+  for (std::size_t r = 0; r < runs_.size(); ++r) {
+    if (!runs_[r].done) selected.push_back(r);
+  }
+  return drain_runs(selected);
+}
+
+Result<RedoApplyPlan::Stats> RedoApplyPlan::drain_page(PageId pid) {
+  auto it = page_index_.find(pid);
+  if (it == page_index_.end()) return Stats{};
+  return drain_runs({it->second});
+}
+
+Result<RedoApplyPlan::Stats> RedoApplyPlan::drain_some(std::size_t max_runs) {
+  std::vector<std::size_t> selected;
+  selected.reserve(std::min(max_runs, pending_runs_));
+  for (std::size_t r = 0; r < runs_.size() && selected.size() < max_runs;
+       ++r) {
+    if (!runs_[r].done) selected.push_back(r);
+  }
+  if (selected.empty()) return Stats{};
+  return drain_runs(selected);
+}
+
+std::vector<PageId> RedoApplyPlan::pending_pages() const {
+  std::vector<PageId> pages;
+  pages.reserve(pending_runs_);
+  for (const Run& run : runs_) {
+    if (!run.done) pages.push_back(run.page);
+  }
+  return pages;
+}
+
+Lsn RedoApplyPlan::low_water() const {
+  Lsn low = kInvalidLsn;
+  for (const Run& run : runs_) {
+    if (run.done || run.items.empty()) continue;
+    // Items are staged in LSN order, so the first is the run's lowest.
+    low = std::min(low, records_[run.items.front()].lsn);
+  }
+  return low;
+}
+
+void RedoApplyPlan::overlay_page(PageId pid, storage::Page* copy) const {
+  auto it = page_index_.find(pid);
+  if (it == page_index_.end()) return;
+  const Run& run = runs_[it->second];
+  for (std::size_t idx : run.items) {
+    const wal::LogRecord& rec = records_[idx];
+    if (rec.lsn <= copy->lsn()) continue;
+    switch (rec.type) {
+      case wal::LogRecordType::kInsert:
+      case wal::LogRecordType::kUpdate:
+        copy->set_slot(rec.dml.rid.slot, rec.dml.after);
+        break;
+      case wal::LogRecordType::kDelete:
+        copy->clear_slot(rec.dml.rid.slot);
+        break;
+      default:
+        // A format record with lsn above a formatted image cannot happen
+        // (the image was flushed after the format applied); an unformatted
+        // image never reaches the overlay (the scan skips it).
+        continue;
+    }
+    copy->set_lsn(rec.lsn);
+  }
+}
+
+Result<RedoApplyPlan::Stats> RedoApplyPlan::drain_runs(
+    const std::vector<std::size_t>& selected) {
   Stats stats;
-  if (staged_count_ == 0) return stats;
+  if (selected.empty()) return stats;
   drains_counter_->inc();
 
   // Runs are processed in chunks small enough that every chunk's pages fit
   // pinned in the cache with room to spare (the serial-apply path inside
   // prepare fetches pages of its own). Chunk boundaries depend only on the
-  // staged record set, never on the worker count.
+  // selected run set, never on the worker count.
   const std::uint32_t cache_cap = hooks_.storage->cache().capacity();
   const std::size_t max_pins =
       std::max<std::size_t>(1, std::min<std::size_t>(cache_cap / 2, 512));
 
   Status failure = Status::ok();
-  for (std::size_t begin = 0; begin < runs_.size() && failure.is_ok();
+  for (std::size_t begin = 0; begin < selected.size() && failure.is_ok();
        begin += max_pins) {
-    const std::size_t end = std::min(runs_.size(), begin + max_pins);
+    const std::size_t end = std::min(selected.size(), begin + max_pins);
 
-    // Serial prepare: pin pages, route special runs through the engine.
+    // Serial prepare: pin pages, route special runs through the engine,
+    // and charge the apply share of the replay CPU in deterministic order.
     std::vector<std::size_t> parallel_runs;
     parallel_runs.reserve(end - begin);
-    for (std::size_t r = begin; r < end; ++r) {
-      failure = prepare_run(runs_[r], &stats);
+    for (std::size_t s = begin; s < end; ++s) {
+      Run& run = runs_[selected[s]];
+      if (hooks_.charge_apply) hooks_.charge_apply(run.items.size());
+      failure = prepare_run(run, &stats);
       if (!failure.is_ok()) break;
-      if (runs_[r].ref.valid()) parallel_runs.push_back(r);
+      if (run.ref.valid()) parallel_runs.push_back(selected[s]);
     }
 
     // Parallel apply: disjoint pinned pages, in-memory writes only.
@@ -155,26 +234,34 @@ Result<RedoApplyPlan::Stats> RedoApplyPlan::drain() {
     // Serial finalize: dirty-mark with the first applied LSN (a checkpoint
     // taken mid-recovery must know how far back this page's changes reach),
     // release pins, and fold stats in deterministic run order.
-    for (std::size_t r = begin; r < end; ++r) {
-      Run& run = runs_[r];
-      if (!run.ref.valid()) continue;
-      if (run.first_applied != kInvalidLsn) {
-        hooks_.storage->mark_dirty(run.page, run.first_applied);
+    for (std::size_t s = begin; s < end; ++s) {
+      Run& run = runs_[selected[s]];
+      if (run.ref.valid()) {
+        if (run.first_applied != kInvalidLsn) {
+          hooks_.storage->mark_dirty(run.page, run.first_applied);
+        }
+        stats.applied += run.applied;
+        run.ref = storage::PageRef{};
       }
-      stats.applied += run.applied;
-      run.ref = storage::PageRef{};
+      run.done = true;
+      page_index_.erase(run.page);
+      pending_runs_ -= 1;
     }
   }
 
-  // Reset for the next cycle. Record entries keep their capacity; run and
-  // index containers are per-page (far fewer than per-record) so plain
-  // clears are cheap.
-  staged_count_ = 0;
-  runs_.clear();
-  page_index_.clear();
+  if (pending_runs_ == 0) reset();
 
   if (!failure.is_ok()) return failure;
   return stats;
+}
+
+void RedoApplyPlan::reset() {
+  // Record entries keep their capacity; run and index containers are
+  // per-page (far fewer than per-record) so plain clears are cheap.
+  staged_count_ = 0;
+  runs_.clear();
+  page_index_.clear();
+  pending_runs_ = 0;
 }
 
 }  // namespace vdb::engine

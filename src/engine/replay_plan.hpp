@@ -51,6 +51,11 @@ class RedoApplyPlan {
     /// "replay records applied" counter is updated from the worker pool
     /// (relaxed atomics — the ThreadSanitizer CI job covers this).
     obs::Observability* obs = nullptr;
+    /// Serial per-run charge, invoked once per drained run with the run's
+    /// record count. The instance-recovery driver uses it to charge the
+    /// apply share of the replay CPU at drain time (early-open restart
+    /// modes pay it on demand / in the background instead of up front).
+    std::function<void(std::uint64_t)> charge_apply;
   };
 
   explicit RedoApplyPlan(Hooks hooks) : hooks_(std::move(hooks)) {
@@ -76,11 +81,47 @@ class RedoApplyPlan {
   /// pooled across drain cycles, so steady-state staging does not allocate.
   Result<Stats> drain();
 
+  // --- retained-run mode (early-open / on-demand restart) -----------------
+  //
+  // Instead of one big drain, the restart coordinator keeps the staged
+  // plan alive across the database open and drains runs piecemeal: a
+  // single page on a user fetch (drain_page), a batch per background
+  // sweeper tick (drain_some). The plan fully resets only once the last
+  // run has drained.
+
+  /// Drains just the run for `pid` (no-op when none is pending).
+  Result<Stats> drain_page(PageId pid);
+
+  /// Drains up to `max_runs` pending runs in staging order.
+  Result<Stats> drain_some(std::size_t max_runs);
+
+  bool has_pending() const { return pending_runs_ > 0; }
+  std::size_t pending_runs() const { return pending_runs_; }
+  bool page_pending(PageId pid) const {
+    return page_index_.contains(pid);
+  }
+  /// Pending pages in staging (first-touch LSN) order — deterministic.
+  std::vector<PageId> pending_pages() const;
+
+  /// commit_lsn watermark: the lowest LSN of any record still pending.
+  /// Every record below it has been applied, so checkpoints taken while
+  /// runs are pending must not advance the recovery position past it.
+  /// kInvalidLsn when nothing is pending.
+  Lsn low_water() const;
+
+  /// Applies the pending run for `pid` to `copy` (LSN-guarded slot writes,
+  /// format records skipped — an on-disk formatted image is already past
+  /// its format LSN). No charges, counters, or dirty marks: this patches a
+  /// scanned page image for analysis-informed rebuild while the physical
+  /// apply stays deferred.
+  void overlay_page(PageId pid, storage::Page* copy) const;
+
  private:
   struct Run {
     PageId page{PageId::invalid()};
     std::vector<std::size_t> items;  // indices into records_, LSN order
     bool has_format = false;
+    bool done = false;  // drained in retained-run mode
     // Filled during prepare/apply:
     storage::PageRef ref;
     bool handled_serially = false;
@@ -92,6 +133,11 @@ class RedoApplyPlan {
   Status prepare_run(Run& run, Stats* stats);
   Status apply_serially(Run& run, Stats* stats);
   void apply_run(Run& run) const;
+  /// Shared drain engine: applies the listed runs (chunked so pinned pages
+  /// fit in the cache), marks them done, and fully resets once no run is
+  /// left pending.
+  Result<Stats> drain_runs(const std::vector<std::size_t>& selected);
+  void reset();
 
   Hooks hooks_;
   /// Pooled record copies: staged_count_ live entries, the rest retain
@@ -99,6 +145,7 @@ class RedoApplyPlan {
   std::vector<wal::LogRecord> records_;
   std::size_t staged_count_ = 0;
   std::vector<Run> runs_;  // first-touch (LSN) order — deterministic
+  std::size_t pending_runs_ = 0;  // staged runs not yet drained
   std::unordered_map<PageId, std::size_t> page_index_;
   obs::Counter* applied_counter_ = nullptr;
   obs::Counter* skipped_counter_ = nullptr;

@@ -1,0 +1,118 @@
+// Restart coordinator: the post-open half of the early-open restart modes
+// (RestartMode M2-M4).
+//
+// Instance recovery in an early-open mode stops after the serial log
+// analysis: losers are identified and rolled back, but the bulk of the
+// redo stays staged in a retained RedoApplyPlan. The database opens, and
+// this coordinator owns the plan from then on:
+//
+//  - a storage-level fetch gate routes any access to a page with pending
+//    redo through recover_page(), which drains just that page's run —
+//    single-page roll-forward charged to the recovery_read_stall wait
+//    event and traced as the on_demand recovery phase;
+//  - a background sweeper (Database timer) calls sweep() to drain pending
+//    runs in staging order, aggressively for M2/M4, as a trickle for M3;
+//  - M2 additionally rejects *user* DML on pending pages with
+//    kRecoveryRequired via check_access() (or stalls, recovering on the
+//    spot, when DatabaseConfig::early_open_stall is set) — internal
+//    fetches always recover on demand instead, because engine machinery
+//    (undo probes, allocator slot search) cannot tolerate rejection;
+//  - commit_lsn() is the watermark checkpoints must not advance the
+//    recovery position past while runs are pending: every record below it
+//    has been applied, nothing above it is guaranteed to be.
+//
+// The coordinator never runs inside its own drains: prepare_run fetches
+// pages through the same StorageManager the gate is installed on, so
+// in_drain_ turns the gate into a pass-through for the duration.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "engine/db_config.hpp"
+#include "engine/replay_plan.hpp"
+#include "obs/observability.hpp"
+#include "sim/virtual_clock.hpp"
+
+namespace vdb::engine {
+
+class RestartCoordinator {
+ public:
+  RestartCoordinator(RestartMode mode, bool stall_on_access,
+                     std::unique_ptr<RedoApplyPlan> plan,
+                     obs::Observability* obs, const sim::VirtualClock* clock);
+
+  RestartMode mode() const { return mode_; }
+
+  bool has_pending() const { return plan_ != nullptr && plan_->has_pending(); }
+  std::size_t pending_pages_count() const {
+    return plan_ != nullptr ? plan_->pending_runs() : 0;
+  }
+  bool page_pending(PageId pid) const {
+    return plan_ != nullptr && plan_->page_pending(pid);
+  }
+  std::vector<PageId> pending_pages() const {
+    return plan_ != nullptr ? plan_->pending_pages() : std::vector<PageId>{};
+  }
+
+  /// Checkpoint clamp: lowest LSN of any still-pending record
+  /// (kInvalidLsn when nothing is pending).
+  Lsn commit_lsn() const {
+    return plan_ != nullptr ? plan_->low_water() : kInvalidLsn;
+  }
+
+  std::uint64_t recovered_on_demand() const { return on_demand_count_; }
+  std::uint64_t recovered_background() const { return background_count_; }
+
+  /// Storage fetch gate: pass-through unless the page has pending redo, in
+  /// which case the page is recovered on the spot (all early modes — the
+  /// storage level never rejects).
+  Status on_fetch(PageId pid);
+
+  /// Engine-level user-DML gate. M2 without early_open_stall rejects
+  /// pending pages with kRecoveryRequired; every other mode defers to the
+  /// storage gate (which recovers on demand).
+  Status check_access(PageId pid);
+
+  /// Single-page roll-forward: drains the page's pending run, charging the
+  /// stall to recovery_read_stall and tracing it as the on_demand phase.
+  /// No-op when the page has no pending redo.
+  Status recover_page(PageId pid);
+
+  /// Background sweeper tick: drains up to `max_runs` pending runs in
+  /// staging order.
+  Status sweep(std::size_t max_runs);
+
+  /// Drains everything still pending (counted as background work). The
+  /// caller checkpoints afterwards; this only finishes the replay.
+  Status complete();
+
+  /// Patches a scanned page image with the page's pending redo (rebuild
+  /// overlay; see RedoApplyPlan::overlay_page).
+  void overlay(PageId pid, storage::Page* copy) const {
+    if (plan_ != nullptr) plan_->overlay_page(pid, copy);
+  }
+
+ private:
+  /// Wraps a drain in wait accounting + on_demand phase tracing + the
+  /// reentrancy guard. `fn` runs with in_drain_ set.
+  Status traced_drain(obs::WaitEvent event,
+                      const std::function<Status()>& fn);
+
+  RestartMode mode_;
+  bool stall_on_access_;
+  std::unique_ptr<RedoApplyPlan> plan_;
+  obs::Observability* obs_;
+  const sim::VirtualClock* clock_;
+  bool in_drain_ = false;
+  std::uint64_t on_demand_count_ = 0;
+  std::uint64_t background_count_ = 0;
+  obs::Counter* on_demand_counter_ = nullptr;
+  obs::Counter* background_counter_ = nullptr;
+};
+
+}  // namespace vdb::engine

@@ -11,6 +11,7 @@ const char* to_string(RecoveryPhase p) {
     case RecoveryPhase::kRedo: return "redo";
     case RecoveryPhase::kUndo: return "undo";
     case RecoveryPhase::kOpen: return "open";
+    case RecoveryPhase::kOnDemand: return "on_demand";
     case RecoveryPhase::kResume: return "resume";
     case RecoveryPhase::kCount: break;
   }
@@ -74,6 +75,17 @@ void RecoveryTracer::archive_current() {
 
 void RecoveryTracer::finish(SimTime now) {
   if (!active_) return;
+  // The harness finishes a trace retroactively at the first post-recovery
+  // commit, but early-open restart modes keep recording on-demand spans
+  // while the workload runs past that instant. Clamp everything to the
+  // finish time so spans still tile [start, end] exactly.
+  while (!current_.spans.empty() && current_.spans.back().start >= now) {
+    current_.spans.pop_back();
+  }
+  if (!current_.spans.empty() && current_.spans.back().end > now) {
+    current_.spans.back().end = now;
+  }
+  if (cursor_ > now) cursor_ = now;
   close_span(now);
   // Tail not attributed to any phase (clock advanced after the last span
   // closed): fold it into a resume span so spans keep tiling the trace.

@@ -4,7 +4,8 @@
 // block recovery, point-in-time restore, stand-by activation — into
 // timestamped phase spans on the simulated clock:
 //
-//   detection -> restore -> redo roll-forward -> undo -> open -> resume
+//   detection -> restore -> redo roll-forward -> undo -> open
+//     -> on-demand redo (early-open restart modes) -> resume
 //
 // Spans TILE the traced interval: entering a phase closes the open span at
 // the current instant and the next span begins exactly there, so the sum
@@ -34,6 +35,7 @@ enum class RecoveryPhase : std::uint8_t {
   kRedo,           // roll-forward through archived + online redo
   kUndo,           // loser-transaction rollback
   kOpen,           // checkpoint, object rebuild, open for service
+  kOnDemand,       // post-open on-demand / background page redo (M2-M4)
   kResume,         // open -> first post-recovery commit (end-user view)
   kCount,
 };

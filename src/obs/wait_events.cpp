@@ -9,6 +9,7 @@ const char* to_string(WaitEvent e) {
     case WaitEvent::kCheckpointWait: return "checkpoint_wait";
     case WaitEvent::kBufferBusy: return "buffer_busy";
     case WaitEvent::kArchiveStall: return "archive_stall";
+    case WaitEvent::kRecoveryReadStall: return "recovery_read_stall";
     case WaitEvent::kCount: break;
   }
   return "?";

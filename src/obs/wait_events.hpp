@@ -30,6 +30,7 @@ enum class WaitEvent : std::uint8_t {
   kCheckpointWait,         // DBWR/CKPT sweep (full or incremental)
   kBufferBusy,             // eviction blocked writing a dirty frame
   kArchiveStall,           // log switch waiting on the archiver
+  kRecoveryReadStall,      // fetch blocked on on-demand single-page redo
   kCount,
 };
 constexpr std::size_t kWaitEventCount =

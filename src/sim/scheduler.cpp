@@ -56,7 +56,9 @@ void Scheduler::run_until(SimTime t) {
     if (ev.at > clock_->now()) clock_->advance_to(ev.at);
     ev.fn();
   }
-  clock_->advance_to(t);
+  // An event callback may itself have advanced the clock past the target
+  // (e.g. a restart-sweeper tick charging redo-apply CPU); never rewind.
+  if (t > clock_->now()) clock_->advance_to(t);
 }
 
 SimTime Scheduler::next_event_time() const {

@@ -157,7 +157,21 @@ class StorageManager final : public PageStore {
 
   // --- page access --------------------------------------------------------
 
-  Result<PageRef> fetch(PageId id) { return cache_->fetch(id); }
+  Result<PageRef> fetch(PageId id) {
+    if (fetch_gate_) {
+      Status st = fetch_gate_(id);
+      if (!st.is_ok()) return st;
+    }
+    return cache_->fetch(id);
+  }
+
+  /// Pre-fetch hook for the early-open restart modes: invoked with the page
+  /// id before the cache is consulted; an error aborts the fetch. The
+  /// restart coordinator uses it to roll a page forward on demand (and
+  /// disables it from inside its own drains). nullptr uninstalls.
+  void set_fetch_gate(std::function<Status(PageId)> gate) {
+    fetch_gate_ = std::move(gate);
+  }
   void mark_dirty(PageId id) { cache_->mark_dirty(id, fs_->clock().now()); }
   /// Batched-replay variant: records the LSN of the first change this frame
   /// absorbed since it was last clean (see BufferCache::mark_dirty).
@@ -240,6 +254,7 @@ class StorageManager final : public PageStore {
   sim::SimFs* fs_;
   StorageParams params_;
   bool recovery_mode_ = false;
+  std::function<Status(PageId)> fetch_gate_;
   std::unique_ptr<BufferCache> cache_;
   std::vector<TablespaceInfo> tablespaces_;
   std::vector<DataFileInfo> files_;

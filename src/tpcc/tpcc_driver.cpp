@@ -56,6 +56,16 @@ Status Driver::run_until(SimTime until) {
         stats_.lock_retries += 1;
         continue;
       }
+      if (code == ErrorCode::kRecoveryRequired) {
+        // M2 early-open restart rejected a pending page. Back off (firing
+        // due background events — the restart sweeper among them — at
+        // their exact instants) and try again.
+        stats_.recovery_retries += 1;
+        const SimTime resume_at =
+            std::min(until, clock.now() + cfg_.recovery_retry_backoff);
+        if (resume_at > clock.now()) scheduler_->run_until(resume_at);
+        continue;
+      }
       stats_.failed_attempts += 1;
       return outcome.status();
     }

@@ -23,6 +23,11 @@ struct DriverConfig {
   std::uint64_t seed = 42;
   /// Throughput series bucket width.
   SimDuration report_interval = 30 * kSecond;
+  /// Backoff before retrying a transaction rejected with kRecoveryRequired
+  /// (M2 early-open restart rejects access to pages whose redo is still
+  /// pending). The end-user keeps hammering; the background sweeper
+  /// eventually drains the page and the retry goes through.
+  SimDuration recovery_retry_backoff = 100 * kMillisecond;
 };
 
 struct CommitRecord {
@@ -38,6 +43,9 @@ struct DriverStats {
   std::uint64_t intentional_rollbacks = 0;
   std::uint64_t lock_retries = 0;
   std::uint64_t failed_attempts = 0;  // attempts refused by a down service
+  /// Attempts bounced by the M2 early-open gate (kRecoveryRequired) and
+  /// retried after recovery_retry_backoff.
+  std::uint64_t recovery_retries = 0;
 };
 
 class Driver {
