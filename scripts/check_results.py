@@ -11,7 +11,11 @@ Checks, per results/bench_*.json file:
   - recovered fault runs decompose: the non-detection entries of
     "recovery_phase_us" sum to "recovery_seconds" (the phase spans tile
     the recovery trace, so the match is exact up to the JSON float
-    rounding of the headline).
+    rounding of the headline);
+  - bench_fleet.json (sharded-fleet faultload schema) has per-run
+    shard_count >= 2, integer promotions / in_doubt_resolved counters, a
+    per-shard lost-transaction vector of matching length, and — the hard
+    invariant — zero cross-shard atomicity violations.
 
 Exit status 0 = all files pass; 1 = any check failed or no files found.
 
@@ -36,6 +40,44 @@ def check_micro(path: pathlib.Path, doc: dict) -> list[str]:
     benchmarks = doc.get("benchmarks")
     if not isinstance(benchmarks, list) or not benchmarks:
         errors.append(f"{path}: no benchmarks recorded")
+    return errors
+
+
+def check_fleet(path: pathlib.Path, doc: dict) -> list[str]:
+    errors = []
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        return [f"{path}: no runs array"]
+    for run in runs:
+        label = run.get("label", "<unlabelled>")
+        if not run.get("ok", False):
+            errors.append(f"{path}: run '{label}' not ok: "
+                          f"{run.get('error', 'unknown error')}")
+            continue
+        shard_count = run.get("shard_count")
+        if not isinstance(shard_count, int) or shard_count < 2:
+            errors.append(f"{path}: run '{label}' shard_count "
+                          f"{shard_count!r} is not an integer >= 2")
+        for field in ("promotions", "in_doubt_resolved",
+                      "atomicity_violations", "lost_committed"):
+            value = run.get(field)
+            if not isinstance(value, int) or value < 0:
+                errors.append(f"{path}: run '{label}' {field} {value!r} is "
+                              f"not a non-negative integer")
+        # The benchmark's hard zero: a gtxn must never commit on one shard
+        # and abort on another, whatever the faultload did.
+        if run.get("atomicity_violations") != 0:
+            errors.append(f"{path}: run '{label}' reports "
+                          f"{run.get('atomicity_violations')!r} cross-shard "
+                          "atomicity violations (must be 0)")
+        lost = run.get("lost_per_shard")
+        if not isinstance(lost, list) or (isinstance(shard_count, int)
+                                          and len(lost) != shard_count):
+            errors.append(f"{path}: run '{label}' lost_per_shard "
+                          f"{lost!r} does not cover every shard")
+        if run.get("fault_injected") and not run.get("recovered"):
+            errors.append(f"{path}: run '{label}' injected a fault but the "
+                          "fleet never recovered")
     return errors
 
 
@@ -123,6 +165,8 @@ def main() -> int:
             continue
         if path.name == "bench_micro.json":
             errors.extend(check_micro(path, doc))
+        elif path.name == "bench_fleet.json":
+            errors.extend(check_fleet(path, doc))
         else:
             errors.extend(check_bench_run(path, doc))
         print(f"check_results: checked {path}")

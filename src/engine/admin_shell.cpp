@@ -144,6 +144,17 @@ Result<std::string> AdminShell::execute(const std::string& command) {
       return "restart mode set to " + std::string(to_string(mode)) +
              " (takes effect at next instance recovery)";
     }
+    if (kind == "FLEET" && tokens.size() >= 4 &&
+        upper(tokens[2]) == "FAILOVER") {
+      if (!fleet_.failover) {
+        return make_error(ErrorCode::kInvalidArgument,
+                          "no fleet bound to this shell");
+      }
+      auto shard = parse_u32(tokens[3]);
+      if (!shard.is_ok()) return shard.status();
+      VDB_RETURN_IF_ERROR(fleet_.failover(shard.value()));
+      return "shard " + tokens[3] + " failed over to its standby";
+    }
     if (kind == "ROLLBACK" && tokens.size() >= 5 &&
         upper(tokens[2]) == "SEGMENT") {
       auto index = parse_u32(tokens[3]);
@@ -205,6 +216,13 @@ Result<std::string> AdminShell::execute(const std::string& command) {
       }
       out << "\n";
       return out.str();
+    }
+    if (what == "FLEET") {
+      if (!fleet_.show) {
+        return make_error(ErrorCode::kInvalidArgument,
+                          "no fleet bound to this shell");
+      }
+      return fleet_.show();
     }
     if (what == "TABLESPACES") {
       for (const auto& ts : db_->storage().tablespaces()) {
@@ -305,6 +323,9 @@ Result<std::string> AdminShell::execute(const std::string& command) {
           << " recovered_on_demand=" << rc->recovered_on_demand()
           << " recovered_background=" << rc->recovered_background() << "\n";
     }
+    // Fleet failover procedures are traced on the fleet's statistics area,
+    // not the shard instance's — append them when a fleet is bound.
+    if (fleet_.recovery_rows) out << fleet_.recovery_rows();
     if (out.str().empty()) return std::string{"no recovery recorded\n"};
     return out.str();
   }

@@ -22,9 +22,19 @@
 //   HOST CORRUPT <path>     -- OS escape: corrupt a file in place
 //   HOST FLIPBITS <path> <offset> <len> [seed]
 //                           -- OS escape: silently flip bits in place
+//
+// When the shell is bound to a sharded fleet (bind_fleet, wired by the
+// fleet layer so the engine stays fleet-agnostic):
+//   SHOW FLEET              -- per-shard role/state and 2PC registry audit
+//   ALTER FLEET FAILOVER <shard>
+//                           -- operator-initiated standby promotion
+//   V$RECOVERY_PROGRESS additionally lists the fleet failover traces.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <string>
+#include <utility>
 
 #include "common/status.hpp"
 #include "engine/database.hpp"
@@ -33,7 +43,21 @@ namespace vdb::engine {
 
 class AdminShell {
  public:
+  /// Optional binding to a sharded fleet. The engine cannot link against
+  /// the fleet layer (it sits above the engine), so the fleet side supplies
+  /// closures; unbound fleet commands fail with kFailedPrecondition.
+  struct FleetHooks {
+    /// SHOW FLEET body: shard roster, roles, registry audit.
+    std::function<std::string()> show;
+    /// ALTER FLEET FAILOVER <shard>: operator-initiated promotion.
+    std::function<Status(std::uint32_t)> failover;
+    /// Fleet-level failover traces appended to V$RECOVERY_PROGRESS.
+    std::function<std::string()> recovery_rows;
+  };
+
   explicit AdminShell(Database* db) : db_(db) {}
+
+  void bind_fleet(FleetHooks hooks) { fleet_ = std::move(hooks); }
 
   /// Executes one command; returns its textual output.
   Result<std::string> execute(const std::string& command);
@@ -44,6 +68,7 @@ class AdminShell {
 
  private:
   Database* db_;
+  FleetHooks fleet_;
 };
 
 }  // namespace vdb::engine

@@ -226,6 +226,9 @@ Status Database::full_checkpoint() {
         std::min(rec.recovery_start_lsn, restart_->commit_lsn());
   }
   rec.active_txns = txns_.snapshot_active();
+  for (const auto& [gtxn, commit] : coord_decisions_) {
+    rec.coord_decisions.push_back(wal::CoordDecision{gtxn, commit});
+  }
   redo_->append(rec);
   VDB_RETURN_IF_ERROR(redo_->flush());
   redo_->note_recovery_position(rec.recovery_start_lsn);
@@ -254,6 +257,9 @@ Status Database::incremental_checkpoint() {
         std::min(rec.recovery_start_lsn, restart_->commit_lsn());
   }
   rec.active_txns = txns_.snapshot_active();
+  for (const auto& [gtxn, commit] : coord_decisions_) {
+    rec.coord_decisions.push_back(wal::CoordDecision{gtxn, commit});
+  }
   redo_->append(rec);
   VDB_RETURN_IF_ERROR(redo_->flush());
   redo_->note_recovery_position(rec.recovery_start_lsn);
@@ -611,14 +617,105 @@ Status Database::rollback(TxnId txn) {
 Status Database::resolve_in_doubt_transactions() {
   // Transactions stranded by a failed rollback (media fault mid-undo) are
   // finished once their files are readable again — Oracle's SMON dead-
-  // transaction recovery.
+  // transaction recovery. PREPAREd 2PC branches stay: only their
+  // coordinator may decide them.
   std::vector<TxnId> in_doubt;
   in_doubt.reserve(txns_.active_count());
-  for (const auto& snap : txns_.snapshot_active()) in_doubt.push_back(snap.txn);
+  for (const auto& snap : txns_.snapshot_active()) {
+    if (snap.prepared) continue;
+    in_doubt.push_back(snap.txn);
+  }
   for (TxnId txn : in_doubt) {
     VDB_RETURN_IF_ERROR(rollback(txn));
   }
   return Status::ok();
+}
+
+Result<Lsn> Database::prepare(TxnId txn, std::uint64_t gtxn,
+                              std::uint32_t coord_shard) {
+  VDB_RETURN_IF_ERROR(ensure_open());
+  auto t = txns_.get(txn);
+  if (!t.is_ok()) return t.status();
+
+  wal::LogRecord rec;
+  rec.type = wal::LogRecordType::kTxnPrepare;
+  rec.txn = txn;
+  rec.gtxn = gtxn;
+  rec.coord_shard = coord_shard;
+  const Lsn lsn = redo_->append(rec);
+  VDB_RETURN_IF_ERROR(txns_.mark_prepared(txn, gtxn, coord_shard, lsn));
+  {
+    obs::WaitScope sync(&obs_->waits(), &scheduler_->clock(),
+                        obs::WaitEvent::kLogFileSync);
+    VDB_RETURN_IF_ERROR(redo_->flush_to(lsn));
+  }
+  return lsn;
+}
+
+Result<Lsn> Database::log_coord_decision(std::uint64_t gtxn, bool commit) {
+  VDB_RETURN_IF_ERROR(ensure_open());
+  wal::LogRecord rec;
+  rec.type = commit ? wal::LogRecordType::kCoordCommit
+                    : wal::LogRecordType::kCoordAbort;
+  rec.gtxn = gtxn;
+  const Lsn lsn = redo_->append(rec);
+  coord_decisions_[gtxn] = commit;
+  {
+    obs::WaitScope sync(&obs_->waits(), &scheduler_->clock(),
+                        obs::WaitEvent::kLogFileSync);
+    VDB_RETURN_IF_ERROR(redo_->flush_to(lsn));
+  }
+  return lsn;
+}
+
+std::optional<bool> Database::coord_decision(std::uint64_t gtxn) const {
+  auto it = coord_decisions_.find(gtxn);
+  if (it == coord_decisions_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Database::forget_decision(std::uint64_t gtxn) {
+  coord_decisions_.erase(gtxn);
+}
+
+Result<Lsn> Database::resolve_prepared(std::uint64_t gtxn, bool commit) {
+  // Branch still live in the transaction manager (coordinator and this
+  // participant are both up): finish it like any runtime transaction.
+  for (const auto& snap : txns_.snapshot_active()) {
+    if (!snap.prepared || snap.gtxn != gtxn) continue;
+    if (commit) return this->commit(snap.txn);
+    // A prepared branch may be rolled back only on the coordinator's say-so,
+    // which is exactly this call.
+    auto t = txns_.get(snap.txn);
+    if (t.is_ok()) t.value()->prepared = false;
+    VDB_RETURN_IF_ERROR(rollback(snap.txn));
+    return Lsn{0};
+  }
+
+  // Branch adopted from recovery: its redo is already applied; commit means
+  // sealing the fate with a COMMIT record, abort means compensating the
+  // saved undo images.
+  auto it = in_doubt_.find(gtxn);
+  if (it == in_doubt_.end()) return Lsn{0};  // already resolved elsewhere
+  InDoubtBranch branch = std::move(it->second);
+  in_doubt_.erase(it);
+  if (commit) {
+    wal::LogRecord rec;
+    rec.type = wal::LogRecordType::kCommit;
+    rec.txn = branch.txn;
+    const Lsn lsn = redo_->append(rec);
+    obs::WaitScope sync(&obs_->waits(), &scheduler_->clock(),
+                        obs::WaitEvent::kLogFileSync);
+    VDB_RETURN_IF_ERROR(redo_->commit_flush(lsn));
+    stats_.commits += 1;
+    metrics_.commits->inc();
+    return lsn;
+  }
+  VDB_RETURN_IF_ERROR(undo_incomplete_txn(branch.txn, branch.ops, branch.clrs));
+  VDB_RETURN_IF_ERROR(redo_->flush());
+  stats_.aborts += 1;
+  metrics_.rollbacks->inc();
+  return Lsn{0};
 }
 
 Lsn Database::pseudo_lsn() const {
@@ -1014,6 +1111,9 @@ Status Database::apply_record(const wal::LogRecord& rec) {
     case LogRecordType::kCommit:
     case LogRecordType::kAbort:
     case LogRecordType::kCheckpoint:
+    case LogRecordType::kTxnPrepare:
+    case LogRecordType::kCoordCommit:
+    case LogRecordType::kCoordAbort:
       return Status::ok();  // bookkeeping handled by the replay driver
   }
   return make_error(ErrorCode::kInternal, "unhandled record type");
@@ -1046,6 +1146,10 @@ Result<Lsn> Database::instance_recovery() {
   struct LoserTrack {
     std::vector<wal::UndoOp> ops;
     std::uint32_t clrs = 0;
+    /// PREPAREd 2PC branch: not a loser — it goes to the in-doubt table.
+    bool prepared = false;
+    std::uint64_t gtxn = 0;
+    std::uint32_t coord_shard = 0;
   };
   std::map<std::uint64_t, LoserTrack> live;  // ordered for determinism
   // Transactions whose end record was already replayed. A checkpoint taken
@@ -1104,13 +1208,32 @@ Result<Lsn> Database::instance_recovery() {
           if (ended.contains(snap.txn.value)) continue;
           LoserTrack track;
           track.ops = snap.ops;
+          track.prepared = snap.prepared;
+          track.gtxn = snap.gtxn;
+          track.coord_shard = snap.coord_shard;
           live[snap.txn.value] = std::move(track);
+        }
+        for (const auto& d : rec.coord_decisions) {
+          coord_decisions_[d.gtxn] = d.commit;
         }
         break;
       case wal::LogRecordType::kCommit:
       case wal::LogRecordType::kAbort:
         live.erase(rec.txn.value);
         ended.insert(rec.txn.value);
+        break;
+      case wal::LogRecordType::kTxnPrepare: {
+        LoserTrack& track = live[rec.txn.value];
+        track.prepared = true;
+        track.gtxn = rec.gtxn;
+        track.coord_shard = rec.coord_shard;
+        break;
+      }
+      case wal::LogRecordType::kCoordCommit:
+        coord_decisions_[rec.gtxn] = true;
+        break;
+      case wal::LogRecordType::kCoordAbort:
+        coord_decisions_[rec.gtxn] = false;
         break;
       case wal::LogRecordType::kInsert:
       case wal::LogRecordType::kUpdate:
@@ -1181,6 +1304,21 @@ Result<Lsn> Database::instance_recovery() {
         }
       }
     }
+  }
+  // PREPAREd branches are not losers: park them in the in-doubt table for
+  // the coordinator (or its recovered decision record) to settle.
+  for (auto it = live.begin(); it != live.end();) {
+    if (!it->second.prepared) {
+      ++it;
+      continue;
+    }
+    InDoubtBranch branch;
+    branch.txn = TxnId{it->first};
+    branch.coord_shard = it->second.coord_shard;
+    branch.ops = std::move(it->second.ops);
+    branch.clrs = it->second.clrs;
+    in_doubt_[it->second.gtxn] = std::move(branch);
+    it = live.erase(it);
   }
   for (auto it = live.rbegin(); it != live.rend(); ++it) {
     if (it->second.ops.empty()) continue;

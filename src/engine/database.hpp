@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <span>
@@ -151,8 +152,62 @@ class Database {
 
   /// Rolls back transactions stranded by a failed rollback once media
   /// recovery has made their files accessible again (SMON-style dead-
-  /// transaction recovery).
+  /// transaction recovery). Prepared 2PC branches are left alone: their
+  /// fate belongs to the coordinator (resolve_prepared).
   Status resolve_in_doubt_transactions();
+
+  // --- two-phase commit (fleet) -----------------------------------------------
+
+  /// One in-doubt 2PC branch surfaced by instance recovery or stand-by
+  /// activation: PREPAREd, but no end record and no local decision.
+  struct InDoubtBranch {
+    TxnId txn{};
+    std::uint32_t coord_shard = 0;
+    std::vector<wal::UndoOp> ops;
+    std::uint64_t clrs = 0;
+  };
+
+  /// Phase one: logs kTxnPrepare and forces it to disk. From here the
+  /// branch cannot be rolled back unilaterally — recovery keeps it in
+  /// doubt until the coordinator's decision is known.
+  Result<Lsn> prepare(TxnId txn, std::uint64_t gtxn, std::uint32_t coord_shard);
+
+  /// Coordinator decision record (kCoordCommit / kCoordAbort), forced to
+  /// disk. After a commit decision returns, the global transaction is
+  /// durably committed fleet-wide regardless of crashes.
+  Result<Lsn> log_coord_decision(std::uint64_t gtxn, bool commit);
+
+  /// The recovered/remembered outcome for a global transaction, if any
+  /// survives in this instance's decision table (absence = presumed abort).
+  std::optional<bool> coord_decision(std::uint64_t gtxn) const;
+
+  /// Drops a decision once every participant acknowledged it (bounds the
+  /// table; checkpoints stop carrying the entry).
+  void forget_decision(std::uint64_t gtxn);
+
+  /// In-doubt branches left behind by the last recovery, keyed by gtxn.
+  const std::map<std::uint64_t, InDoubtBranch>& in_doubt_branches() const {
+    return in_doubt_;
+  }
+
+  /// Resolves one branch to the coordinator's outcome: commit appends the
+  /// branch's COMMIT record (its redo is already applied); abort compensates
+  /// via the saved undo. Works both for branches still live in the
+  /// transaction manager and for branches adopted from recovery. Returns
+  /// the commit LSN (0 for abort / already-resolved branches).
+  Result<Lsn> resolve_prepared(std::uint64_t gtxn, bool commit);
+
+  /// Adopts an in-doubt branch discovered by an external replay driver
+  /// (stand-by activation).
+  void adopt_in_doubt(std::uint64_t gtxn, InDoubtBranch branch) {
+    in_doubt_[gtxn] = std::move(branch);
+  }
+
+  /// Records a coordinator decision recovered by an external replay driver
+  /// (no new log record — the decision is already durable upstream).
+  void note_coord_decision(std::uint64_t gtxn, bool commit) {
+    coord_decisions_[gtxn] = commit;
+  }
 
   Result<RowId> insert(TxnId txn, TableId table,
                        std::span<const std::uint8_t> row);
@@ -334,6 +389,12 @@ class Database {
   EngineStats stats_;
   std::uint64_t last_archived_seq_ = 0;
   InstanceState pre_recovery_state_ = InstanceState::kClosed;
+  /// 2PC state reconstructed by recovery (and maintained at runtime):
+  /// in-doubt branches awaiting their coordinator's outcome, and this
+  /// instance's own coordinator decision table. Ordered so checkpoint
+  /// encoding is deterministic.
+  std::map<std::uint64_t, InDoubtBranch> in_doubt_;
+  std::map<std::uint64_t, bool> coord_decisions_;
 };
 
 }  // namespace vdb::engine

@@ -102,9 +102,40 @@ constexpr FaultTypeInfo kTypes[] = {
      Portability::kEquivalent, false},
 };
 
+constexpr FleetScenarioInfo kFleetScenarios[] = {
+    {FleetScenario::kSingleShardCrash, "single-shard crash",
+     "One shard's primary instance is shut down abort; the rest of the "
+     "fleet keeps serving its warehouses.",
+     "Health-check detects the dead shard, promotes its standby, re-routes "
+     "the driver; unarchived redo is lost on that shard only."},
+    {FleetScenario::kCoordinatorCrashMid2pc, "coordinator crash mid-2PC",
+     "The shard coordinating a cross-shard transaction dies between "
+     "PREPARE and the decision reaching every participant.",
+     "Promote the coordinator's standby, then resolve in-doubt branches "
+     "from the recovered decision table (no surviving decision record = "
+     "presumed abort); every participant must reach the same outcome."},
+    {FleetScenario::kPromotionWithRedoLoss, "promotion with redo loss",
+     "A shard dies with committed redo still in its current, unarchived "
+     "online group — the standby never received that window.",
+     "Promote the standby anyway; commits above the last shipped archive "
+     "are counted as that shard's lost transactions (paper §5.3)."},
+    {FleetScenario::kCascadingDoubleFailure, "cascading double failure",
+     "A second shard dies while the fleet is still recovering the first.",
+     "The orchestrator serialises the failovers: each dead shard is "
+     "detected, promoted and re-routed in turn before service resumes."},
+};
+
 }  // namespace
 
 std::span<const FaultClassInfo> fault_classes() { return kClasses; }
 std::span<const FaultTypeInfo> fault_types() { return kTypes; }
+
+std::span<const FleetScenarioInfo> fleet_scenarios() {
+  return kFleetScenarios;
+}
+
+const FleetScenarioInfo& fleet_scenario_info(FleetScenario s) {
+  return kFleetScenarios[static_cast<std::size_t>(s)];
+}
 
 }  // namespace vdb::faults

@@ -7,6 +7,7 @@
 // and diversity of required recovery.
 #pragma once
 
+#include <cstddef>
 #include <span>
 
 namespace vdb::faults {
@@ -32,5 +33,27 @@ struct FaultTypeInfo {
 
 std::span<const FaultClassInfo> fault_classes();
 std::span<const FaultTypeInfo> fault_types();
+
+/// Fleet-level fault scenarios (multi-instance generalisation of the
+/// faultload): coordinated failures across a sharded deployment, each with
+/// the recovery the orchestrator is expected to drive.
+enum class FleetScenario {
+  kSingleShardCrash = 0,
+  kCoordinatorCrashMid2pc,
+  kPromotionWithRedoLoss,
+  kCascadingDoubleFailure,
+};
+constexpr std::size_t kFleetScenarioCount = 4;
+
+struct FleetScenarioInfo {
+  FleetScenario scenario;
+  const char* name;
+  const char* description;
+  /// What the orchestrator must do to restore fleet service.
+  const char* expected_recovery;
+};
+
+std::span<const FleetScenarioInfo> fleet_scenarios();
+const FleetScenarioInfo& fleet_scenario_info(FleetScenario s);
 
 }  // namespace vdb::faults

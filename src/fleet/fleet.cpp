@@ -1,0 +1,231 @@
+#include "fleet/fleet.hpp"
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+#include "tpcc/tpcc_loader.hpp"
+
+namespace vdb::fleet {
+
+BranchRecord* GlobalTxn::branch(std::uint32_t shard) {
+  for (BranchRecord& b : branches) {
+    if (b.shard == shard) return &b;
+  }
+  return nullptr;
+}
+
+bool GlobalTxn::settled() const {
+  for (const BranchRecord& b : branches) {
+    if (b.outcome == '?') return false;
+  }
+  return true;
+}
+
+GlobalTxn& TwoPhaseRegistry::open(std::uint32_t coord,
+                                  const std::vector<std::uint32_t>& shards) {
+  GlobalTxn g;
+  g.gtxn = next_gtxn_++;
+  g.coord = coord;
+  for (std::uint32_t s : shards) g.branches.push_back(BranchRecord{s});
+  auto [it, inserted] = txns_.emplace(g.gtxn, std::move(g));
+  (void)inserted;
+  return it->second;
+}
+
+GlobalTxn* TwoPhaseRegistry::find(std::uint64_t gtxn) {
+  auto it = txns_.find(gtxn);
+  return it == txns_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t TwoPhaseRegistry::atomicity_violations() const {
+  std::uint64_t violations = 0;
+  for (const auto& [gtxn, g] : txns_) {
+    bool committed = false;
+    bool aborted = false;
+    for (const BranchRecord& b : g.branches) {
+      if (b.outcome == 'C') committed = true;
+      if (b.outcome == 'A') aborted = true;
+    }
+    if (committed && aborted) violations += 1;
+  }
+  return violations;
+}
+
+namespace {
+
+void add_standard_disks(sim::Host& host) {
+  host.add_disk("/data");
+  host.add_disk("/redo");
+  host.add_disk("/arch");
+  host.add_disk("/backup");
+}
+
+}  // namespace
+
+Fleet::Fleet(FleetConfig cfg)
+    : cfg_(std::move(cfg)), sched_(&clock_) {
+  if (cfg_.scale.warehouses < cfg_.shards * 2) {
+    // Default fleet sizing: two warehouses per shard keeps every shard a
+    // multi-warehouse TPC-C system (remote cases exist within a shard too).
+    cfg_.scale.warehouses = cfg_.shards * 2;
+  }
+}
+
+std::uint32_t Fleet::shard_of(std::uint32_t warehouse) const {
+  // Knuth multiplicative hash: static, directory-free, stable across
+  // restarts. Warehouse ids are 1-based and dense, so small fleets stay
+  // balanced.
+  return static_cast<std::uint32_t>(
+      (static_cast<std::uint64_t>(warehouse) * 2654435761ull) % cfg_.shards);
+}
+
+engine::Database& Fleet::active_db(std::uint32_t i) {
+  Shard& s = *shards_[i];
+  return s.promoted ? s.standby->db() : *s.db;
+}
+
+Status Fleet::setup() {
+  if (cfg_.shards < 2) {
+    return Status{ErrorCode::kInvalidArgument, "fleet needs >= 2 shards"};
+  }
+  shards_.clear();
+  for (std::uint32_t i = 0; i < cfg_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+    shards_[i]->index = i;
+  }
+  for (std::uint32_t w = 1; w <= cfg_.scale.warehouses; ++w) {
+    shards_[shard_of(w)]->warehouses.push_back(w);
+  }
+  for (std::uint32_t i = 0; i < cfg_.shards; ++i) {
+    if (shards_[i]->warehouses.empty()) {
+      return Status{ErrorCode::kInvalidArgument,
+                    "warehouse hash left shard " + std::to_string(i) +
+                        " empty; raise scale.warehouses"};
+    }
+    VDB_RETURN_IF_ERROR(setup_shard(i));
+  }
+  return Status::ok();
+}
+
+Status Fleet::setup_shard(std::uint32_t i) {
+  Shard& s = *shards_[i];
+  const std::string tag = "shard" + std::to_string(i);
+  s.primary_host = std::make_unique<sim::Host>(tag, &clock_);
+  add_standard_disks(*s.primary_host);
+  s.obs = std::make_unique<obs::Observability>();
+
+  engine::DatabaseConfig cfg;
+  cfg.name = "tpcc-" + tag;
+  cfg.redo.file_size_bytes =
+      static_cast<std::uint64_t>(cfg_.redo_file_mb) * 1024 * 1024;
+  cfg.redo.groups = cfg_.redo_groups;
+  cfg.redo.archive_mode = true;  // standby shipping needs archives
+  cfg.checkpoint_timeout = cfg_.checkpoint_timeout;
+  cfg.storage.cache_pages = cfg_.cache_pages;
+  cfg.obs = s.obs.get();
+  s.cfg = cfg;
+
+  s.db = std::make_unique<engine::Database>(s.primary_host.get(), &sched_,
+                                            s.cfg);
+  VDB_RETURN_IF_ERROR(s.db->create());
+
+  std::vector<std::pair<std::string, std::uint32_t>> files;
+  for (std::uint32_t f = 0; f < cfg_.datafiles; ++f) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "/data/tpcc%02u.dbf", f + 1);
+    files.emplace_back(buf, cfg_.datafile_blocks);
+  }
+  auto ts = s.db->create_tablespace("TPCC", files);
+  if (!ts.is_ok()) return ts.status();
+  auto user = s.db->create_user("TPCC", /*is_dba=*/false);
+  if (!user.is_ok()) return user.status();
+
+  s.tdb = std::make_unique<tpcc::TpccDb>(cfg_.scale);
+  VDB_RETURN_IF_ERROR(s.tdb->create_schema(*s.db, "TPCC", user.value()));
+  VDB_RETURN_IF_ERROR(s.tdb->attach(s.db.get()));
+
+  // Warehouse-subset population: this shard's warehouses plus the full
+  // (replicated) item catalog. Per-shard seed keeps loads independent.
+  tpcc::Loader loader(s.tdb.get(),
+                      cfg_.seed ^ 0x10ad5eedull ^
+                          (0x9e3779b97f4a7c15ull * (i + 1)));
+  auto load = loader.load_warehouses(s.warehouses);
+  if (!load.is_ok()) return load.status();
+
+  s.backups = std::make_unique<recovery::BackupManager>(
+      &s.primary_host->fs(), "/backup");
+
+  s.standby_host = std::make_unique<sim::Host>(tag + "-standby", &clock_);
+  add_standard_disks(*s.standby_host);
+  s.link = std::make_unique<sim::NetworkLink>();
+  standby::StandbyConfig scfg;
+  scfg.db = s.cfg;
+  s.standby = std::make_unique<standby::StandbyDatabase>(
+      s.standby_host.get(), &sched_, scfg, s.link.get());
+  VDB_RETURN_IF_ERROR(s.standby->instantiate_from(*s.db, *s.backups));
+  wire_shipping(s);
+  return Status::ok();
+}
+
+void Fleet::wire_shipping(Shard& s) {
+  sim::SimFs* primary_fs = &s.primary_host->fs();
+  standby::StandbyDatabase* sb = s.standby.get();
+  s.db->archiver().on_archived = [primary_fs, sb](const std::string& path,
+                                                  std::uint64_t seq,
+                                                  SimTime done_at) {
+    sb->on_primary_archive(*primary_fs, path, seq, done_at);
+  };
+}
+
+Status Fleet::restart_shard(std::uint32_t i) {
+  Shard& s = *shards_[i];
+  if (s.promoted) {
+    return Status{ErrorCode::kInvalidArgument,
+                  "shard failed over; the promoted standby is the instance"};
+  }
+  if (s.db->is_open()) return Status::ok();  // nothing to do
+  // A crashed incarnation never comes back — a fresh instance mounts the
+  // surviving files and instance-recovers from the redo stream.
+  s.db = std::make_unique<engine::Database>(s.primary_host.get(), &sched_,
+                                            s.cfg);
+  VDB_RETURN_IF_ERROR(s.db->startup());
+  VDB_RETURN_IF_ERROR(s.tdb->attach(s.db.get()));
+  wire_shipping(s);
+  s.failed_at = 0;
+  return Status::ok();
+}
+
+Status Fleet::kill_shard(std::uint32_t i) {
+  Shard& s = *shards_[i];
+  engine::Database& db = active_db(i);
+  if (!db.is_open()) return Status::ok();  // already down
+  s.failed_at = clock_.now();
+  return db.shutdown_abort();
+}
+
+Result<standby::ActivationReport> Fleet::promote(std::uint32_t i) {
+  Shard& s = *shards_[i];
+  if (s.promoted) {
+    return Status{ErrorCode::kInvalidArgument,
+                  "shard already failed over; no second standby"};
+  }
+  if (s.db->is_open()) (void)s.db->shutdown_abort();
+  auto act = s.standby->activate();
+  if (!act.is_ok()) return act.status();
+  VDB_RETURN_IF_ERROR(s.tdb->attach(&s.standby->db()));
+  s.promoted = true;
+  s.recovered_to = act.value().recovered_to;
+  return act;
+}
+
+bool Fleet::healthy() const {
+  for (const auto& s : shards_) {
+    const engine::Database& db =
+        s->promoted ? s->standby->db() : *s->db;
+    if (!db.is_open()) return false;
+  }
+  return true;
+}
+
+}  // namespace vdb::fleet

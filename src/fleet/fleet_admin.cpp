@@ -1,0 +1,80 @@
+#include "fleet/fleet_admin.hpp"
+
+#include <sstream>
+#include <string>
+
+namespace vdb::fleet {
+
+namespace {
+
+std::string show_fleet(Fleet& fleet, FailoverOrchestrator& orchestrator) {
+  std::ostringstream out;
+  out << "fleet: " << fleet.size() << " shards, "
+      << fleet.scale().warehouses << " warehouses\n";
+  for (std::uint32_t i = 0; i < fleet.size(); ++i) {
+    const Shard& s = fleet.shard(i);
+    engine::Database& db = fleet.active_db(i);
+    out << "shard " << i << "  role="
+        << (s.promoted ? "promoted-standby" : "primary") << "  state="
+        << (db.is_open() ? "OPEN" : "DOWN") << "  warehouses=[";
+    for (size_t k = 0; k < s.warehouses.size(); ++k) {
+      if (k != 0) out << ",";
+      out << s.warehouses[k];
+    }
+    out << "]  flushed_lsn=" << db.redo().flushed_lsn();
+    if (s.promoted) {
+      out << "  recovered_to=" << s.recovered_to
+          << "  failed_at_us=" << s.failed_at;
+    }
+    out << "\n";
+  }
+  const TwoPhaseRegistry& registry = fleet.registry();
+  out << "2pc: cross_shard_txns=" << registry.cross_shard_txns()
+      << " atomicity_violations=" << registry.atomicity_violations() << "\n";
+  out << "orchestrator: probes=" << orchestrator.probes()
+      << " promotions=" << orchestrator.promotions()
+      << " in_doubt_resolved=" << orchestrator.in_doubt_resolved() << "\n";
+  return out.str();
+}
+
+std::string recovery_rows(const obs::Observability& fleet_obs) {
+  std::ostringstream out;
+  const obs::RecoveryTracer& tracer = fleet_obs.tracer();
+  auto print = [&](const obs::RecoveryTrace& trace, bool in_progress) {
+    out << trace.label << " start_us=" << trace.start;
+    if (in_progress) {
+      out << " IN PROGRESS\n";
+    } else {
+      out << " total_us=" << trace.total() << "\n";
+    }
+    for (const auto& span : trace.spans) {
+      out << "  " << obs::to_string(span.phase) << "  " << span.duration()
+          << " us\n";
+    }
+  };
+  for (const auto& trace : tracer.history()) print(trace, false);
+  if (tracer.active()) print(*tracer.current(), true);
+  return out.str();
+}
+
+}  // namespace
+
+engine::AdminShell::FleetHooks make_admin_hooks(
+    Fleet* fleet, FailoverOrchestrator* orchestrator,
+    obs::Observability* fleet_obs) {
+  engine::AdminShell::FleetHooks hooks;
+  hooks.show = [fleet, orchestrator] {
+    return show_fleet(*fleet, *orchestrator);
+  };
+  hooks.failover = [fleet, orchestrator](std::uint32_t shard) -> Status {
+    if (shard >= fleet->size()) {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "no such shard: " + std::to_string(shard));
+    }
+    return orchestrator->force_failover(shard);
+  };
+  hooks.recovery_rows = [fleet_obs] { return recovery_rows(*fleet_obs); };
+  return hooks;
+}
+
+}  // namespace vdb::fleet

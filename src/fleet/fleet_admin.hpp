@@ -1,0 +1,23 @@
+// Binds the engine's administration shell to a fleet.
+//
+// The AdminShell lives in the engine layer and cannot link against the
+// fleet (the fleet sits above the engine), so the fleet commands — SHOW
+// FLEET, ALTER FLEET FAILOVER <shard>, the failover rows appended to
+// V$RECOVERY_PROGRESS — are supplied as closures. This translation unit
+// builds those closures; the caller hands them to AdminShell::bind_fleet.
+#pragma once
+
+#include "engine/admin_shell.hpp"
+#include "fleet/orchestrator.hpp"
+#include "obs/observability.hpp"
+
+namespace vdb::fleet {
+
+/// Builds the shell hooks over a fleet, its orchestrator, and the fleet's
+/// statistics area (where failover procedures are traced). All three must
+/// outlive any shell the hooks are bound to.
+engine::AdminShell::FleetHooks make_admin_hooks(
+    Fleet* fleet, FailoverOrchestrator* orchestrator,
+    obs::Observability* fleet_obs);
+
+}  // namespace vdb::fleet

@@ -1,0 +1,112 @@
+// Fleet-aware TPC-C transaction profiles.
+//
+// Order-Status, Delivery, and Stock-Level touch only the home warehouse's
+// rows and are delegated verbatim to the per-shard TpccTxns. New-Order and
+// Payment mirror the single-instance profiles exactly — same inputs, same
+// row mutations, same random stream — except that a remote stock line
+// (clause 2.4.1's ~1%-per-line case) or a remote customer (clause
+// 2.5.1.2's 15% case) landing on a foreign shard opens a branch there, and
+// the whole interaction then commits by presumed-abort two-phase commit:
+//
+//   1. every branch PREPAREs (redo record + log force),
+//   2. the coordinator (the home shard) force-logs its COMMIT decision,
+//   3. branches commit; the coordinator forgets the decision.
+//
+// No decision record ever means abort — that presumption is what lets a
+// crashed participant resolve a branch without talking to anyone when the
+// coordinator provably never decided.
+//
+// Crash points let the faultload kill a shard at the protocol's four
+// exposed instants; the armed hook receives the natural victim (the
+// coordinator, or the participant about to prepare) and fires exactly
+// once.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/status.hpp"
+#include "fleet/fleet.hpp"
+#include "tpcc/tpcc_random.hpp"
+#include "tpcc/tpcc_txns.hpp"
+
+namespace vdb::fleet {
+
+enum class CrashPoint {
+  kNone = 0,
+  kBeforePrepare,   // coordinator dies before any branch prepared
+  kMidPrepare,      // the first participant dies before its own prepare
+  kAfterPrepares,   // coordinator dies with all branches prepared, undecided
+  kAfterDecision,   // coordinator dies with its COMMIT decision durable
+};
+
+struct FleetOutcome {
+  tpcc::TxnType type = tpcc::TxnType::kNewOrder;
+  bool committed = false;
+  bool intentional_rollback = false;
+  /// Home-shard commit LSN (0 for read-only work).
+  Lsn commit_lsn = 0;
+  bool cross_shard = false;
+  /// Durability watermark per touched shard: the branch's commit LSN. A
+  /// committed transaction is lost on shard s iff recovery there later
+  /// stops below its entry.
+  std::vector<std::pair<std::uint32_t, Lsn>> branches;
+};
+
+class FleetTxns {
+ public:
+  FleetTxns(Fleet* fleet, tpcc::TpccRandom* random);
+
+  Result<FleetOutcome> run(tpcc::TxnType type, std::uint32_t w);
+
+  /// Arms a one-shot crash at the given protocol instant. The hook gets
+  /// the victim shard the faultload scenario wants dead (coordinator for
+  /// every point except kMidPrepare, which hands over the participant).
+  void arm_crash(CrashPoint point,
+                 std::function<void(std::uint32_t shard)> fire);
+  bool crash_armed() const { return armed_ != CrashPoint::kNone; }
+
+  std::uint64_t cross_shard_started() const { return cross_shard_started_; }
+  std::uint64_t remote_branches() const { return remote_branches_; }
+
+ private:
+  Result<FleetOutcome> new_order(std::uint32_t w);
+  Result<FleetOutcome> payment(std::uint32_t w);
+  Result<FleetOutcome> delegate(tpcc::TxnType type, std::uint32_t w);
+
+  /// 60%/40% customer selection against the shard that owns warehouse cw.
+  Result<RowId> select_customer(std::uint32_t cw, std::uint32_t cd);
+
+  /// Lazily opens a branch transaction on `shard`.
+  Result<TxnId> branch_txn(std::map<std::uint32_t, TxnId>* branches,
+                           std::uint32_t shard);
+  /// Rolls back every open branch (business rollback / pre-2PC failure).
+  void rollback_all(const std::map<std::uint32_t, TxnId>& branches);
+
+  /// True (and disarms) when `point` is armed; the hook has then run.
+  bool fire_crash(CrashPoint point, std::uint32_t victim);
+  /// One 2PC message round trip on the inter-shard link.
+  void charge_round_trip();
+
+  /// Presumed-abort commit across branches.size() >= 2 shards.
+  Status two_phase_commit(std::uint32_t home,
+                          std::map<std::uint32_t, TxnId>* branches,
+                          FleetOutcome* out);
+  /// Coordinator-side abort: prepared branches resolve on its order,
+  /// unprepared ones roll back, dead shards resolve at their recovery.
+  void abort_branches(GlobalTxn* g,
+                      const std::map<std::uint32_t, TxnId>& branches);
+
+  Fleet* fleet_;
+  tpcc::TpccRandom* random_;
+  std::vector<std::unique_ptr<tpcc::TpccTxns>> local_;
+  CrashPoint armed_ = CrashPoint::kNone;
+  std::function<void(std::uint32_t)> fire_;
+  std::uint64_t cross_shard_started_ = 0;
+  std::uint64_t remote_branches_ = 0;
+};
+
+}  // namespace vdb::fleet

@@ -1,0 +1,179 @@
+#include "fleet/orchestrator.hpp"
+
+#include <string>
+
+namespace vdb::fleet {
+
+FailoverOrchestrator::FailoverOrchestrator(Fleet* fleet,
+                                           OrchestratorConfig cfg,
+                                           obs::Observability* fleet_obs)
+    : fleet_(fleet), cfg_(cfg), obs_(obs::resolve(fleet_obs)) {
+  suspected_.assign(fleet_->size(), false);
+}
+
+void FailoverOrchestrator::start() {
+  if (started_) return;
+  started_ = true;
+  probe_handle_ = fleet_->scheduler().schedule_every(
+      cfg_.probe_interval, [this] { probe(); });
+}
+
+void FailoverOrchestrator::stop() {
+  if (!started_) return;
+  probe_handle_.cancel();
+  started_ = false;
+}
+
+void FailoverOrchestrator::probe() {
+  probes_ += 1;
+  for (std::uint32_t i = 0; i < fleet_->size(); ++i) {
+    if (suspected_[i]) continue;  // retry ladder already running
+    if (fleet_->active_db(i).is_open()) continue;
+    suspect(i, fleet_->clock().now());
+  }
+}
+
+void FailoverOrchestrator::suspect(std::uint32_t shard, SimTime first_missed) {
+  suspected_[shard] = true;
+  retry(shard, 0, first_missed, cfg_.retry_backoff);
+}
+
+void FailoverOrchestrator::retry(std::uint32_t shard, std::uint32_t attempt,
+                                 SimTime first_missed, SimDuration backoff) {
+  if (attempt >= cfg_.probe_retries) {
+    // Ladder exhausted: the shard is dead. Run the failover procedure.
+    (void)fail_over(shard, first_missed);
+    suspected_[shard] = false;
+    return;
+  }
+  fleet_->scheduler().schedule_after(
+      backoff, [this, shard, attempt, first_missed, backoff] {
+        if (fleet_->active_db(shard).is_open()) {
+          // Came back on its own (transient): stand down.
+          suspected_[shard] = false;
+          return;
+        }
+        retry(shard, attempt + 1, first_missed, backoff * 2);
+      });
+}
+
+Status FailoverOrchestrator::force_failover(std::uint32_t shard) {
+  if (shard >= fleet_->size()) {
+    return Status{ErrorCode::kInvalidArgument, "no such shard"};
+  }
+  engine::Database& db = fleet_->active_db(shard);
+  if (db.is_open()) VDB_RETURN_IF_ERROR(db.shutdown_abort());
+  return fail_over(shard, fleet_->clock().now());
+}
+
+Status FailoverOrchestrator::fail_over(std::uint32_t shard,
+                                       SimTime first_missed) {
+  sim::VirtualClock& clock = fleet_->clock();
+  obs::RecoveryTracer& tracer = obs_->tracer();
+  const SimTime declared = clock.now();
+
+  FailoverEvent event;
+  event.shard = shard;
+  event.failed_at = first_missed;
+  event.declared_at = declared;
+
+  // The detection span runs from the first missed probe to the death
+  // verdict; a cascading failure starts a fresh trace (finishing the
+  // previous one at this instant).
+  tracer.start("fleet failover shard " + std::to_string(shard),
+               first_missed);
+  tracer.enter(obs::RecoveryPhase::kDetection, first_missed);
+
+  tracer.enter(obs::RecoveryPhase::kPromote, declared);
+  auto act = fleet_->promote(shard);
+  if (!act.is_ok()) {
+    tracer.exit(clock.now());
+    return act.status();
+  }
+  event.recovered_to = act.value().recovered_to;
+  event.archives_applied = act.value().archives_applied;
+  promotions_ += 1;
+
+  // Client redirection: the driver's routing table now points at the
+  // promoted standby (Fleet::promote re-attached the access paths).
+  tracer.enter(obs::RecoveryPhase::kReroute, clock.now());
+  clock.advance_by(cfg_.reroute_cost);
+
+  tracer.enter(obs::RecoveryPhase::kResolveInDoubt, clock.now());
+  const std::uint64_t resolved_before = in_doubt_resolved_;
+  resolve_in_doubt();
+  event.in_doubt_resolved = in_doubt_resolved_ - resolved_before;
+
+  event.restored_at = clock.now();
+  obs_->waits().add_wait(obs::WaitEvent::kFailoverWait,
+                         event.restored_at - event.failed_at);
+  // Left open: the experiment closes the trace at the first post-recovery
+  // commit, mirroring the single-instance harness.
+  tracer.enter(obs::RecoveryPhase::kResume, event.restored_at);
+  events_.push_back(event);
+  return Status::ok();
+}
+
+void FailoverOrchestrator::resolve_in_doubt() {
+  for (auto& [gtxn, g] : fleet_->registry().txns()) {
+    if (g.finished || g.settled()) continue;
+    engine::Database& cdb = fleet_->active_db(g.coord);
+    // The verdict is the coordinator's alone; until its promotion (a
+    // cascading failure may leave it dead longer) branches stay in doubt.
+    if (!cdb.is_open()) continue;
+
+    // Authoritative decision: the record in the coordinator's recovered
+    // redo. The registry's memory of an un-surfaced decision is the
+    // client-side view and deliberately ignored — a decision wiped with
+    // the coordinator's unarchived redo was never distributed, so presumed
+    // abort is the consistent verdict.
+    auto durable = cdb.coord_decision(gtxn);
+    const bool commit = durable.has_value() && *durable;
+    if (!durable.has_value()) {
+      // Force-log the abort so a second coordinator crash replays the
+      // same verdict instead of re-deriving it.
+      (void)cdb.log_coord_decision(gtxn, false);
+    }
+
+    bool all_settled = true;
+    for (BranchRecord& b : g.branches) {
+      if (b.outcome != '?') continue;
+      engine::Database& db = fleet_->active_db(b.shard);
+      if (!db.is_open()) {
+        all_settled = false;
+        continue;
+      }
+      const Shard& sh = fleet_->shard(b.shard);
+      if (sh.promoted && b.prepare_lsn > sh.recovered_to) {
+        // The PREPARE never reached the standby: the branch's effects do
+        // not exist on the promoted shard. Data loss, not divergence.
+        b.outcome = 'L';
+        continue;
+      }
+      auto r = db.resolve_prepared(gtxn, commit);
+      if (!r.is_ok()) {
+        all_settled = false;
+        continue;
+      }
+      b.outcome = commit ? 'C' : 'A';
+      if (commit) b.end_lsn = r.value();
+      in_doubt_resolved_ += 1;
+    }
+    if (all_settled) {
+      g.finished = true;
+      cdb.forget_decision(gtxn);
+    }
+  }
+}
+
+bool FailoverOrchestrator::await_fleet_healthy(SimTime deadline) {
+  sim::Scheduler& sched = fleet_->scheduler();
+  while (!fleet_->healthy() && fleet_->clock().now() < deadline) {
+    const SimTime next = sched.next_event_time();
+    if (next == sim::Scheduler::kNoEvent || next > deadline) break;
+    sched.run_until(next);
+  }
+  return fleet_->healthy();
+}
+
+}  // namespace vdb::fleet

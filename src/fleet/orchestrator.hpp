@@ -1,0 +1,100 @@
+// Fleet failover orchestrator.
+//
+// Health-checks every shard on the virtual clock. A missed probe starts a
+// bounded-backoff retry ladder (a down instance may be a transient stall);
+// only after the configured retries all miss is the shard declared dead.
+// The procedure then runs exactly like an operator following the standby
+// runbook, with each step a recovery-trace span on the fleet's statistics
+// area:
+//
+//   detection      first missed probe -> declared dead
+//   promote        standby activation (drain shipped redo, RESETLOGS)
+//   reroute        the driver's connections re-pointed at the new primary
+//   resolve_indoubt  prepared 2PC branches settled fleet-wide
+//   resume         open -> first post-recovery commit (experiment closes it)
+//
+// In-doubt resolution follows presumed abort: the coordinator's recovered
+// decision table is authoritative; no surviving COMMIT record means abort,
+// and the orchestrator then force-logs the abort decision (kCoordAbort) so
+// a second crash replays the same verdict. Branches whose PREPARE sat in
+// the dead primary's unarchived redo never made it to the promoted standby
+// — they are marked lost ('L'), the per-shard price of asynchronous
+// shipping (paper §5.3), never an atomicity violation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hpp"
+#include "fleet/fleet.hpp"
+#include "obs/observability.hpp"
+
+namespace vdb::fleet {
+
+struct OrchestratorConfig {
+  SimDuration probe_interval = 2 * kSecond;
+  /// Retries after the first missed probe before declaring death.
+  std::uint32_t probe_retries = 3;
+  /// First retry delay; doubles each miss (bounded by probe_retries).
+  SimDuration retry_backoff = 2 * kSecond;
+  /// Fixed client-redirection cost once the standby is open.
+  SimDuration reroute_cost = 1 * kSecond;
+};
+
+struct FailoverEvent {
+  std::uint32_t shard = 0;
+  SimTime failed_at = 0;    // first missed probe
+  SimTime declared_at = 0;  // retry ladder exhausted -> procedure starts
+  SimTime restored_at = 0;  // shard serving again
+  Lsn recovered_to = 0;
+  std::uint64_t archives_applied = 0;
+  std::uint64_t in_doubt_resolved = 0;
+};
+
+class FailoverOrchestrator {
+ public:
+  FailoverOrchestrator(Fleet* fleet, OrchestratorConfig cfg,
+                       obs::Observability* fleet_obs);
+
+  /// Starts the periodic health probes on the fleet scheduler.
+  void start();
+  void stop();
+
+  /// Pumps scheduler events (probes, retries, promotions) until the fleet
+  /// is healthy again or `deadline` passes. Returns whether it is healthy.
+  bool await_fleet_healthy(SimTime deadline);
+
+  /// Operator-initiated failover (ALTER FLEET FAILOVER <shard>): skips
+  /// the probe ladder and runs the procedure immediately.
+  Status force_failover(std::uint32_t shard);
+
+  /// Settles every registry transaction with unresolved branches whose
+  /// coordinator is reachable. Runs automatically after each promotion;
+  /// callable standalone (SMON-style sweep).
+  void resolve_in_doubt();
+
+  const std::vector<FailoverEvent>& events() const { return events_; }
+  std::uint64_t promotions() const { return promotions_; }
+  std::uint64_t in_doubt_resolved() const { return in_doubt_resolved_; }
+  std::uint64_t probes() const { return probes_; }
+
+ private:
+  void probe();
+  void suspect(std::uint32_t shard, SimTime first_missed);
+  void retry(std::uint32_t shard, std::uint32_t attempt, SimTime first_missed,
+             SimDuration backoff);
+  Status fail_over(std::uint32_t shard, SimTime first_missed);
+
+  Fleet* fleet_;
+  OrchestratorConfig cfg_;
+  obs::Observability* obs_;
+  sim::EventHandle probe_handle_;
+  std::vector<bool> suspected_;
+  std::vector<FailoverEvent> events_;
+  std::uint64_t promotions_ = 0;
+  std::uint64_t in_doubt_resolved_ = 0;
+  std::uint64_t probes_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace vdb::fleet

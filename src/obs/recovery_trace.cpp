@@ -13,6 +13,9 @@ const char* to_string(RecoveryPhase p) {
     case RecoveryPhase::kOpen: return "open";
     case RecoveryPhase::kOnDemand: return "on_demand";
     case RecoveryPhase::kResume: return "resume";
+    case RecoveryPhase::kPromote: return "promote";
+    case RecoveryPhase::kReroute: return "reroute";
+    case RecoveryPhase::kResolveInDoubt: return "resolve_indoubt";
     case RecoveryPhase::kCount: break;
   }
   return "?";

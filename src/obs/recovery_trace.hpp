@@ -37,6 +37,9 @@ enum class RecoveryPhase : std::uint8_t {
   kOpen,           // checkpoint, object rebuild, open for service
   kOnDemand,       // post-open on-demand / background page redo (M2-M4)
   kResume,         // open -> first post-recovery commit (end-user view)
+  kPromote,        // fleet failover: standby activation on the dead shard
+  kReroute,        // fleet failover: driver re-attached to the new primary
+  kResolveInDoubt, // fleet failover: in-doubt 2PC branches settled
   kCount,
 };
 constexpr std::size_t kRecoveryPhaseCount =

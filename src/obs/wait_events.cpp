@@ -10,6 +10,7 @@ const char* to_string(WaitEvent e) {
     case WaitEvent::kBufferBusy: return "buffer_busy";
     case WaitEvent::kArchiveStall: return "archive_stall";
     case WaitEvent::kRecoveryReadStall: return "recovery_read_stall";
+    case WaitEvent::kFailoverWait: return "failover_wait";
     case WaitEvent::kCount: break;
   }
   return "?";

@@ -31,6 +31,7 @@ enum class WaitEvent : std::uint8_t {
   kBufferBusy,             // eviction blocked writing a dirty frame
   kArchiveStall,           // log switch waiting on the archiver
   kRecoveryReadStall,      // fetch blocked on on-demand single-page redo
+  kFailoverWait,           // fleet driver blocked on a shard failover
   kCount,
 };
 constexpr std::size_t kWaitEventCount =

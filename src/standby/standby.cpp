@@ -116,8 +116,27 @@ void StandbyDatabase::apply_archive(const std::string& standby_path) {
               if (ended_.contains(snap.txn.value)) continue;
               LoserTrack track;
               track.ops = snap.ops;
+              track.prepared = snap.prepared;
+              track.gtxn = snap.gtxn;
+              track.coord_shard = snap.coord_shard;
               live_[snap.txn.value] = std::move(track);
             }
+            for (const auto& d : rec.coord_decisions) {
+              coord_decisions_[d.gtxn] = d.commit;
+            }
+            break;
+          case wal::LogRecordType::kTxnPrepare: {
+            LoserTrack& track = live_[rec.txn.value];
+            track.prepared = true;
+            track.gtxn = rec.gtxn;
+            track.coord_shard = rec.coord_shard;
+            break;
+          }
+          case wal::LogRecordType::kCoordCommit:
+            coord_decisions_[rec.gtxn] = true;
+            break;
+          case wal::LogRecordType::kCoordAbort:
+            coord_decisions_[rec.gtxn] = false;
             break;
           case wal::LogRecordType::kInsert:
           case wal::LogRecordType::kUpdate:
@@ -166,7 +185,25 @@ Result<ActivationReport> StandbyDatabase::activate() {
   VDB_RETURN_IF_ERROR(db_->redo().resetlogs(reset_at));
   // The applied redo may end mid-transaction: roll those losers back
   // before opening (still in recovery mode; CLRs land in the new redo).
+  // PREPAREd 2PC branches are adopted as in-doubt instead — the failover
+  // orchestrator resolves them against the coordinator's decision.
   if (tracer.active()) tracer.enter(obs::RecoveryPhase::kUndo, clock.now());
+  for (const auto& [gtxn, commit] : coord_decisions_) {
+    db_->note_coord_decision(gtxn, commit);
+  }
+  for (auto it = live_.begin(); it != live_.end();) {
+    if (!it->second.prepared) {
+      ++it;
+      continue;
+    }
+    engine::Database::InDoubtBranch branch;
+    branch.txn = TxnId{it->first};
+    branch.coord_shard = it->second.coord_shard;
+    branch.ops = std::move(it->second.ops);
+    branch.clrs = it->second.clrs;
+    db_->adopt_in_doubt(it->second.gtxn, std::move(branch));
+    it = live_.erase(it);
+  }
   for (auto it = live_.rbegin(); it != live_.rend(); ++it) {
     if (it->second.ops.empty()) continue;
     VDB_RETURN_IF_ERROR(db_->undo_incomplete_txn(

@@ -82,6 +82,11 @@ class StandbyDatabase {
   struct LoserTrack {
     std::vector<wal::UndoOp> ops;
     std::uint64_t clrs = 0;
+    /// PREPAREd 2PC branch seen in the shipped redo: activation must adopt
+    /// it as in-doubt instead of rolling it back.
+    bool prepared = false;
+    std::uint64_t gtxn = 0;
+    std::uint32_t coord_shard = 0;
   };
 
   sim::Host* host_;
@@ -98,6 +103,9 @@ class StandbyDatabase {
   /// end mid-transaction, and activation must roll those changes back.
   std::map<std::uint64_t, LoserTrack> live_;
   std::set<std::uint64_t> ended_;
+  /// Coordinator decisions seen in the shipped redo, handed to the database
+  /// at activation so in-doubt resolution works on the promoted primary.
+  std::map<std::uint64_t, bool> coord_decisions_;
   bool activated_ = false;
   bool instantiated_ = false;
 };

@@ -12,6 +12,15 @@ constexpr std::uint32_t kBatchRows = 2000;
 }  // namespace
 
 Result<LoadStats> Loader::load() {
+  std::vector<std::uint32_t> all;
+  for (std::uint32_t w = 1; w <= db_->scale().warehouses; ++w) {
+    all.push_back(w);
+  }
+  return load_warehouses(all);
+}
+
+Result<LoadStats> Loader::load_warehouses(
+    const std::vector<std::uint32_t>& ws) {
   engine::Database& db = db_->db();
   // Bulk loads run NOLOGGING (redo off); the harness backs up right after.
   for (size_t i = 0; i < kTableCount; ++i) {
@@ -29,7 +38,7 @@ Result<LoadStats> Loader::load() {
   }
 
   const TpccScale& scale = db_->scale();
-  for (std::uint32_t w = 1; w <= scale.warehouses; ++w) {
+  for (const std::uint32_t w : ws) {
     {
       auto txn = db.begin();
       if (!txn.is_ok()) return txn.status();

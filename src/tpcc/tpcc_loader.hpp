@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "common/status.hpp"
@@ -26,6 +27,10 @@ class Loader {
 
   /// Populates all nine tables per the spec's cardinalities (scaled).
   Result<LoadStats> load();
+
+  /// Populates items plus only the listed warehouses — a fleet shard holds
+  /// a subset of the warehouse range but the full (replicated) catalog.
+  Result<LoadStats> load_warehouses(const std::vector<std::uint32_t>& ws);
 
  private:
   Status load_items(TxnId* txn);

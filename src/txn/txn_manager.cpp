@@ -86,6 +86,16 @@ Status TxnManager::mark_end_logged(TxnId id) {
   return Status::ok();
 }
 
+Status TxnManager::mark_prepared(TxnId id, std::uint64_t gtxn,
+                                 std::uint32_t coord_shard, Lsn prepare_lsn) {
+  VDB_ASSIGN_OR_RETURN(Transaction * txn, get(id));
+  txn->prepared = true;
+  txn->gtxn = gtxn;
+  txn->coord_shard = coord_shard;
+  txn->prepare_lsn = prepare_lsn;
+  return Status::ok();
+}
+
 std::vector<wal::TxnSnapshot> TxnManager::snapshot_active() const {
   std::vector<wal::TxnSnapshot> out;
   out.reserve(active_.size());
@@ -94,6 +104,9 @@ std::vector<wal::TxnSnapshot> TxnManager::snapshot_active() const {
     wal::TxnSnapshot snap;
     snap.txn = id;
     snap.ops = txn.undo;
+    snap.prepared = txn.prepared;
+    snap.gtxn = txn.gtxn;
+    snap.coord_shard = txn.coord_shard;
     out.push_back(std::move(snap));
   }
   std::sort(out.begin(), out.end(),

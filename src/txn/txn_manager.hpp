@@ -53,6 +53,13 @@ struct Transaction {
   std::uint64_t undo_bytes = 0;
   Lsn first_lsn = kInvalidLsn;
   Lsn commit_lsn = kInvalidLsn;
+  /// 2PC branch state: a prepared transaction's fate belongs to its global
+  /// coordinator — it cannot be rolled back unilaterally, and checkpoint
+  /// snapshots must carry the prepare so recovery keeps it in doubt.
+  bool prepared = false;
+  std::uint64_t gtxn = 0;
+  std::uint32_t coord_shard = 0;
+  Lsn prepare_lsn = kInvalidLsn;
 };
 
 class TxnManager {
@@ -82,6 +89,11 @@ class TxnManager {
   /// Marks that the transaction's end record is in the redo stream (called
   /// right after appending COMMIT/ABORT, before the flush).
   Status mark_end_logged(TxnId txn);
+
+  /// Marks a branch PREPAREd for global transaction `gtxn` coordinated by
+  /// `coord_shard` (called right after appending the kTxnPrepare record).
+  Status mark_prepared(TxnId txn, std::uint64_t gtxn,
+                       std::uint32_t coord_shard, Lsn prepare_lsn);
 
   /// Snapshot of every active transaction (end record not yet logged) for a
   /// checkpoint record.

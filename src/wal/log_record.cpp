@@ -16,6 +16,9 @@ const char* to_string(LogRecordType t) {
     case LogRecordType::kCreateTable: return "CREATE_TABLE";
     case LogRecordType::kDropTable: return "DROP_TABLE";
     case LogRecordType::kDropTablespace: return "DROP_TABLESPACE";
+    case LogRecordType::kTxnPrepare: return "TXN_PREPARE";
+    case LogRecordType::kCoordCommit: return "COORD_COMMIT";
+    case LogRecordType::kCoordAbort: return "COORD_ABORT";
   }
   return "?";
 }
@@ -140,17 +143,33 @@ void LogRecord::encode(Encoder& enc) const {
       enc.put_string(name);
       enc.put_u32(tablespace_id.value);
       break;
+    case LogRecordType::kTxnPrepare:
+      enc.put_u64(gtxn);
+      enc.put_u32(coord_shard);
+      break;
+    case LogRecordType::kCoordCommit:
+    case LogRecordType::kCoordAbort:
+      enc.put_u64(gtxn);
+      break;
     case LogRecordType::kCheckpoint:
       enc.put_u64(recovery_start_lsn);
       enc.put_u32(static_cast<std::uint32_t>(active_txns.size()));
       for (const auto& snap : active_txns) {
         enc.put_u64(snap.txn.value);
+        enc.put_u8(snap.prepared ? 1 : 0);
+        enc.put_u64(snap.gtxn);
+        enc.put_u32(snap.coord_shard);
         enc.put_u32(static_cast<std::uint32_t>(snap.ops.size()));
         for (const auto& op : snap.ops) {
           enc.put_u64(op.lsn);
           enc.put_u8(static_cast<std::uint8_t>(op.op));
           encode_dml(enc, op.change);
         }
+      }
+      enc.put_u32(static_cast<std::uint32_t>(coord_decisions.size()));
+      for (const auto& d : coord_decisions) {
+        enc.put_u64(d.gtxn);
+        enc.put_u8(d.commit ? 1 : 0);
       }
       break;
   }
@@ -179,8 +198,11 @@ Status LogRecord::decode_into(Decoder& dec, LogRecord* out) {
   rec.tablespace_id = TablespaceId{};
   rec.owner_user = UserId{};
   rec.ddl_slot_size = 0;
+  rec.gtxn = 0;
+  rec.coord_shard = 0;
   rec.recovery_start_lsn = kInvalidLsn;
   rec.active_txns.clear();
+  rec.coord_decisions.clear();
 
   auto type = dec.get_u8();
   auto txn = dec.get_u64();
@@ -253,6 +275,23 @@ Status LogRecord::decode_into(Decoder& dec, LogRecord* out) {
       rec.tablespace_id = TablespaceId{ts.value()};
       break;
     }
+    case LogRecordType::kTxnPrepare: {
+      auto gtxn = dec.get_u64();
+      auto coord = dec.get_u32();
+      if (!gtxn.is_ok() || !coord.is_ok()) {
+        return make_error(ErrorCode::kCorruption, "bad prepare payload");
+      }
+      rec.gtxn = gtxn.value();
+      rec.coord_shard = coord.value();
+      break;
+    }
+    case LogRecordType::kCoordCommit:
+    case LogRecordType::kCoordAbort: {
+      auto gtxn = dec.get_u64();
+      if (!gtxn.is_ok()) return gtxn.status();
+      rec.gtxn = gtxn.value();
+      break;
+    }
     case LogRecordType::kCheckpoint: {
       auto start = dec.get_u64();
       auto count = dec.get_u32();
@@ -263,11 +302,18 @@ Status LogRecord::decode_into(Decoder& dec, LogRecord* out) {
       for (std::uint32_t i = 0; i < count.value(); ++i) {
         TxnSnapshot snap;
         auto txn_id = dec.get_u64();
+        auto prepared = dec.get_u8();
+        auto snap_gtxn = dec.get_u64();
+        auto snap_coord = dec.get_u32();
         auto ops = dec.get_u32();
-        if (!txn_id.is_ok() || !ops.is_ok()) {
+        if (!txn_id.is_ok() || !prepared.is_ok() || !snap_gtxn.is_ok() ||
+            !snap_coord.is_ok() || !ops.is_ok()) {
           return make_error(ErrorCode::kCorruption, "bad txn snapshot");
         }
         snap.txn = TxnId{txn_id.value()};
+        snap.prepared = prepared.value() != 0;
+        snap.gtxn = snap_gtxn.value();
+        snap.coord_shard = snap_coord.value();
         for (std::uint32_t j = 0; j < ops.value(); ++j) {
           UndoOp op;
           auto op_lsn = dec.get_u64();
@@ -281,6 +327,19 @@ Status LogRecord::decode_into(Decoder& dec, LogRecord* out) {
           snap.ops.push_back(std::move(op));
         }
         rec.active_txns.push_back(std::move(snap));
+      }
+      auto decisions = dec.get_u32();
+      if (!decisions.is_ok()) {
+        return make_error(ErrorCode::kCorruption, "bad decision table");
+      }
+      for (std::uint32_t i = 0; i < decisions.value(); ++i) {
+        auto d_gtxn = dec.get_u64();
+        auto d_commit = dec.get_u8();
+        if (!d_gtxn.is_ok() || !d_commit.is_ok()) {
+          return make_error(ErrorCode::kCorruption, "bad coord decision");
+        }
+        rec.coord_decisions.push_back(
+            CoordDecision{d_gtxn.value(), d_commit.value() != 0});
       }
       break;
     }

@@ -34,6 +34,13 @@ enum class LogRecordType : std::uint8_t {
   kCreateTable = 8,
   kDropTable = 9,
   kDropTablespace = 10,
+  // Two-phase commit (presumed abort). A PREPARE makes a branch's fate
+  // externally decided: recovery must keep it in doubt instead of rolling
+  // it back as a loser. The coordinator's decision is durable only as a
+  // kCoordCommit record (abort is presumed when no decision survives).
+  kTxnPrepare = 11,
+  kCoordCommit = 12,
+  kCoordAbort = 13,
 };
 
 const char* to_string(LogRecordType t);
@@ -58,6 +65,18 @@ struct UndoOp {
 struct TxnSnapshot {
   TxnId txn{};
   std::vector<UndoOp> ops;
+  /// 2PC branch state: a prepared branch must survive recovery in doubt.
+  bool prepared = false;
+  std::uint64_t gtxn = 0;
+  std::uint32_t coord_shard = 0;
+};
+
+/// Coordinator decision remembered across checkpoints: until every
+/// participant acknowledged, the outcome of a global transaction must be
+/// reconstructible from the redo stream alone.
+struct CoordDecision {
+  std::uint64_t gtxn = 0;
+  bool commit = false;
 };
 
 struct LogRecord {
@@ -84,10 +103,19 @@ struct LogRecord {
   UserId owner_user{};
   std::uint16_t ddl_slot_size = 0;
 
+  // kTxnPrepare / kCoordCommit / kCoordAbort
+  /// Global transaction id (fleet-unique) and the coordinator shard that
+  /// owns the commit decision for it.
+  std::uint64_t gtxn = 0;
+  std::uint32_t coord_shard = 0;
+
   // kCheckpoint
   /// Replay may start here: every change below this LSN is on disk.
   Lsn recovery_start_lsn = kInvalidLsn;
   std::vector<TxnSnapshot> active_txns;
+  /// Undropped coordinator decisions (2PC outcomes not yet acknowledged by
+  /// every participant when the checkpoint was taken).
+  std::vector<CoordDecision> coord_decisions;
 
   void encode(Encoder& enc) const;
   static Result<LogRecord> decode(Decoder& dec);

@@ -232,6 +232,11 @@ Status RedoLog::switch_group() {
   return Status::ok();
 }
 
+Status RedoLog::force_switch() {
+  VDB_RETURN_IF_ERROR(flush());
+  return switch_group();
+}
+
 Status RedoLog::flush() {
   if (flushing_) return Status::ok();  // outer invocation drains the queue
   flushing_ = true;

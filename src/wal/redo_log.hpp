@@ -109,6 +109,11 @@ class RedoLog {
   /// every co-buffered record — co-arriving commits share one device write.
   Status commit_flush(Lsn commit_lsn);
 
+  /// Operator-initiated log switch (ALTER SYSTEM SWITCH LOGFILE): flushes
+  /// the buffer, finalizes the current group — archiving it in ARCHIVELOG
+  /// mode — and continues in the next one.
+  Status force_switch();
+
   const GroupCommitStats& group_commit_stats() const { return gc_stats_; }
 
   /// Wires LGWR into a statistics area: redo size/write counters plus the

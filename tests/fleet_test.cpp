@@ -1,0 +1,299 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <optional>
+
+#include "engine/admin_shell.hpp"
+#include "faults/classification.hpp"
+#include "fleet/fleet.hpp"
+#include "fleet/fleet_admin.hpp"
+#include "fleet/fleet_driver.hpp"
+#include "fleet/fleet_experiment.hpp"
+#include "fleet/fleet_txns.hpp"
+#include "fleet/orchestrator.hpp"
+
+namespace vdb::fleet {
+namespace {
+
+FleetConfig small_cfg(std::uint32_t shards = 2) {
+  FleetConfig cfg;
+  cfg.shards = shards;
+  // Spec district count (the loader seeds W_YTD assuming it); everything
+  // else shrunk for test speed.
+  cfg.scale.warehouses = 4;
+  cfg.scale.customers_per_district = 30;
+  cfg.scale.items = 200;
+  cfg.scale.initial_orders_per_district = 30;
+  return cfg;
+}
+
+/// Drives the closed loop until the armed crash fires (bounded so a
+/// never-firing hook fails the test instead of hanging it).
+Status drive_until_crash(FleetDriver* driver, Fleet* fleet) {
+  return driver->run_until(fleet->clock().now() + 120 * kMinute);
+}
+
+/// The one distributed transaction the crash caught in flight.
+GlobalTxn* unfinished_gtxn(Fleet* fleet) {
+  GlobalTxn* found = nullptr;
+  for (auto& [id, g] : fleet->registry().txns()) {
+    if (!g.finished) {
+      EXPECT_EQ(found, nullptr) << "more than one unfinished gtxn";
+      found = &g;
+    }
+  }
+  return found;
+}
+
+TEST(FleetTest, PartitionCoversEveryWarehouseOnce) {
+  Fleet fleet(small_cfg(2));
+  ASSERT_TRUE(fleet.setup().is_ok());
+  std::uint32_t total = 0;
+  for (std::uint32_t i = 0; i < fleet.size(); ++i) {
+    EXPECT_FALSE(fleet.shard(i).warehouses.empty());
+    for (const std::uint32_t w : fleet.shard(i).warehouses) {
+      EXPECT_EQ(fleet.shard_of(w), i);
+      total += 1;
+    }
+  }
+  EXPECT_EQ(total, fleet.scale().warehouses);
+}
+
+TEST(FleetTest, FaultFreeRunCommitsCrossShardWork) {
+  FleetExperimentOptions opts;
+  opts.shards = 2;
+  opts.duration = 2 * kMinute;
+  opts.fleet = small_cfg();
+  auto result = FleetExperiment(opts).run();
+  ASSERT_TRUE(result.is_ok()) << result.status().message();
+  const FleetExperimentResult& r = result.value();
+  EXPECT_GT(r.committed, 0u);
+  EXPECT_GT(r.cross_shard_started, 0u);
+  EXPECT_GT(r.cross_shard_committed, 0u);
+  EXPECT_EQ(r.atomicity_violations, 0u);
+  EXPECT_EQ(r.promotions, 0u);
+  EXPECT_GT(r.integrity_checks, 0u);
+  EXPECT_EQ(r.integrity_violations, 0u)
+      << (r.integrity_messages.empty() ? "" : r.integrity_messages.front());
+  EXPECT_FALSE(r.history_check_skipped);
+}
+
+TEST(FleetTest, CoordinatorCrashAfterDecisionCommitsEverywhere) {
+  Fleet fleet(small_cfg());
+  ASSERT_TRUE(fleet.setup().is_ok());
+  obs::Observability obs;
+  FleetDriver driver(&fleet, &obs, FleetDriverConfig{});
+  FailoverOrchestrator orch(&fleet, OrchestratorConfig{}, &obs);
+
+  std::optional<std::uint32_t> victim;
+  driver.txns().arm_crash(CrashPoint::kAfterDecision, [&](std::uint32_t s) {
+    victim = s;
+    (void)fleet.kill_shard(s);
+  });
+  Status st = drive_until_crash(&driver, &fleet);
+  ASSERT_FALSE(st.is_ok());
+  ASSERT_TRUE(victim.has_value());
+
+  GlobalTxn* g = unfinished_gtxn(&fleet);
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->coord, *victim);
+  EXPECT_TRUE(g->decided);
+  EXPECT_TRUE(g->decision);
+  for (const BranchRecord& b : g->branches) EXPECT_EQ(b.outcome, '?');
+
+  // Operator restarts the dead coordinator in place: instance recovery
+  // reconstructs the prepared branch and the durable COMMIT decision.
+  ASSERT_TRUE(fleet.restart_shard(*victim).is_ok());
+  ASSERT_TRUE(fleet.healthy());
+  orch.resolve_in_doubt();
+
+  EXPECT_TRUE(g->finished);
+  for (const BranchRecord& b : g->branches) {
+    EXPECT_EQ(b.outcome, 'C') << "branch on shard " << b.shard;
+  }
+  EXPECT_EQ(fleet.registry().atomicity_violations(), 0u);
+  EXPECT_GE(orch.in_doubt_resolved(), 2u);
+}
+
+TEST(FleetTest, CoordinatorCrashBeforePrepareAbortsEverywhere) {
+  Fleet fleet(small_cfg());
+  ASSERT_TRUE(fleet.setup().is_ok());
+  obs::Observability obs;
+  FleetDriver driver(&fleet, &obs, FleetDriverConfig{});
+
+  std::optional<std::uint32_t> victim;
+  driver.txns().arm_crash(CrashPoint::kBeforePrepare, [&](std::uint32_t s) {
+    victim = s;
+    (void)fleet.kill_shard(s);
+  });
+  Status st = drive_until_crash(&driver, &fleet);
+  ASSERT_FALSE(st.is_ok());
+  ASSERT_TRUE(victim.has_value());
+
+  // Nothing was prepared, so the interaction settled as a plain abort on
+  // the spot: no branch is in doubt anywhere.
+  ASSERT_FALSE(fleet.registry().txns().empty());
+  const GlobalTxn& g = fleet.registry().txns().rbegin()->second;
+  EXPECT_TRUE(g.finished);
+  for (const BranchRecord& b : g.branches) EXPECT_EQ(b.outcome, 'A');
+
+  ASSERT_TRUE(fleet.restart_shard(*victim).is_ok());
+  EXPECT_TRUE(fleet.healthy());
+  EXPECT_TRUE(fleet.shard(*victim).db->in_doubt_branches().empty());
+  EXPECT_EQ(fleet.registry().atomicity_violations(), 0u);
+}
+
+TEST(FleetTest, ParticipantCrashMidPrepareAbortsEverywhere) {
+  Fleet fleet(small_cfg());
+  ASSERT_TRUE(fleet.setup().is_ok());
+  obs::Observability obs;
+  FleetDriver driver(&fleet, &obs, FleetDriverConfig{});
+
+  std::optional<std::uint32_t> victim;
+  driver.txns().arm_crash(CrashPoint::kMidPrepare, [&](std::uint32_t s) {
+    victim = s;
+    (void)fleet.kill_shard(s);
+  });
+  Status st = drive_until_crash(&driver, &fleet);
+  ASSERT_FALSE(st.is_ok());
+  ASSERT_TRUE(victim.has_value());
+
+  // The participant died before its PREPARE: the coordinator decided
+  // abort, and the dead shard's branch is a plain loser that instance
+  // recovery rolls back without coordination.
+  ASSERT_FALSE(fleet.registry().txns().empty());
+  const GlobalTxn& g = fleet.registry().txns().rbegin()->second;
+  EXPECT_NE(g.coord, *victim);
+  EXPECT_TRUE(g.finished);
+  EXPECT_FALSE(g.decided);
+  for (const BranchRecord& b : g.branches) EXPECT_EQ(b.outcome, 'A');
+
+  ASSERT_TRUE(fleet.restart_shard(*victim).is_ok());
+  EXPECT_TRUE(fleet.healthy());
+  EXPECT_TRUE(fleet.shard(*victim).db->in_doubt_branches().empty());
+  EXPECT_EQ(fleet.registry().atomicity_violations(), 0u);
+}
+
+TEST(FleetTest, UndecidedCoordinatorCrashPresumesAbortOnPromotion) {
+  Fleet fleet(small_cfg());
+  ASSERT_TRUE(fleet.setup().is_ok());
+  obs::Observability obs;
+  FleetDriver driver(&fleet, &obs, FleetDriverConfig{});
+  FailoverOrchestrator orch(&fleet, OrchestratorConfig{}, &obs);
+
+  std::optional<std::uint32_t> victim;
+  driver.txns().arm_crash(CrashPoint::kAfterPrepares, [&](std::uint32_t s) {
+    victim = s;
+    (void)fleet.kill_shard(s);
+  });
+  Status st = drive_until_crash(&driver, &fleet);
+  ASSERT_FALSE(st.is_ok());
+  ASSERT_TRUE(victim.has_value());
+
+  GlobalTxn* g = unfinished_gtxn(&fleet);
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->coord, *victim);
+  EXPECT_FALSE(g->decided);
+
+  // Failover replaces the coordinator with its standby, whose redo can
+  // never contain a decision record — the presumption takes over and
+  // every surviving branch must abort identically.
+  ASSERT_TRUE(orch.force_failover(*victim).is_ok());
+  ASSERT_TRUE(fleet.healthy());
+  EXPECT_EQ(orch.promotions(), 1u);
+
+  EXPECT_TRUE(g->finished);
+  for (const BranchRecord& b : g->branches) {
+    EXPECT_NE(b.outcome, 'C') << "branch on shard " << b.shard;
+    if (b.shard != *victim) EXPECT_EQ(b.outcome, 'A');
+  }
+  EXPECT_EQ(fleet.registry().atomicity_violations(), 0u);
+}
+
+TEST(FleetTest, AdminShellShowsAndFailsOverTheFleet) {
+  Fleet fleet(small_cfg());
+  ASSERT_TRUE(fleet.setup().is_ok());
+  obs::Observability obs;
+  FleetDriver driver(&fleet, &obs, FleetDriverConfig{});
+  FailoverOrchestrator orch(&fleet, OrchestratorConfig{}, &obs);
+
+  // The operator's console is a shard instance's shell with the fleet
+  // hooks bound on top.
+  engine::AdminShell shell(&fleet.active_db(0));
+  shell.bind_fleet(make_admin_hooks(&fleet, &orch, &obs));
+
+  ASSERT_TRUE(driver.run_until(fleet.clock().now() + 1 * kMinute).is_ok());
+
+  auto show = shell.execute("SHOW FLEET");
+  ASSERT_TRUE(show.is_ok()) << show.status().message();
+  EXPECT_NE(show.value().find("fleet: 2 shards"), std::string::npos);
+  EXPECT_NE(show.value().find("role=primary"), std::string::npos);
+  EXPECT_NE(show.value().find("atomicity_violations=0"), std::string::npos);
+
+  // Operator-initiated switchover of shard 1 onto its standby.
+  auto failover = shell.execute("ALTER FLEET FAILOVER 1");
+  ASSERT_TRUE(failover.is_ok()) << failover.status().message();
+  EXPECT_TRUE(fleet.healthy());
+  EXPECT_EQ(orch.promotions(), 1u);
+  EXPECT_TRUE(fleet.shard(1).promoted);
+
+  show = shell.execute("SHOW FLEET");
+  ASSERT_TRUE(show.is_ok());
+  EXPECT_NE(show.value().find("role=promoted-standby"), std::string::npos);
+
+  // The failover procedure is traced on the fleet statistics area and
+  // surfaces through the shard shell's V$RECOVERY_PROGRESS.
+  auto progress = shell.execute("V$RECOVERY_PROGRESS");
+  ASSERT_TRUE(progress.is_ok());
+  EXPECT_NE(progress.value().find("fleet failover shard 1"),
+            std::string::npos);
+  EXPECT_NE(progress.value().find("promote"), std::string::npos);
+  EXPECT_NE(progress.value().find("reroute"), std::string::npos);
+
+  EXPECT_FALSE(shell.execute("ALTER FLEET FAILOVER 9").is_ok());
+}
+
+TEST(FleetTest, AdminShellFleetCommandsRequireABinding) {
+  Fleet fleet(small_cfg());
+  ASSERT_TRUE(fleet.setup().is_ok());
+  engine::AdminShell shell(&fleet.active_db(0));
+  auto show = shell.execute("SHOW FLEET");
+  ASSERT_FALSE(show.is_ok());
+  EXPECT_EQ(show.status().code(), ErrorCode::kInvalidArgument);
+  EXPECT_FALSE(shell.execute("ALTER FLEET FAILOVER 0").is_ok());
+}
+
+FleetExperimentResult run_with_jobs(const char* jobs) {
+  setenv("VDB_JOBS", jobs, 1);
+  FleetExperimentOptions opts;
+  opts.shards = 2;
+  opts.scenario = faults::FleetScenario::kSingleShardCrash;
+  opts.duration = 4 * kMinute;
+  opts.inject_at = 1 * kMinute;
+  opts.fleet = small_cfg();
+  auto result = FleetExperiment(opts).run();
+  unsetenv("VDB_JOBS");
+  EXPECT_TRUE(result.is_ok());
+  return result.is_ok() ? result.value() : FleetExperimentResult{};
+}
+
+TEST(FleetTest, ExperimentDeterministicAcrossReplayJobCounts) {
+  const FleetExperimentResult serial = run_with_jobs("1");
+  const FleetExperimentResult parallel = run_with_jobs("4");
+  EXPECT_EQ(serial.committed, parallel.committed);
+  EXPECT_EQ(serial.cross_shard_committed, parallel.cross_shard_committed);
+  EXPECT_EQ(serial.cross_shard_started, parallel.cross_shard_started);
+  EXPECT_EQ(serial.promotions, parallel.promotions);
+  EXPECT_EQ(serial.in_doubt_resolved, parallel.in_doubt_resolved);
+  EXPECT_EQ(serial.atomicity_violations, parallel.atomicity_violations);
+  EXPECT_EQ(serial.lost_committed, parallel.lost_committed);
+  EXPECT_EQ(serial.lost_per_shard, parallel.lost_per_shard);
+  EXPECT_EQ(serial.recovery_time, parallel.recovery_time);
+  EXPECT_EQ(serial.detection_delay, parallel.detection_delay);
+  EXPECT_DOUBLE_EQ(serial.tpmc, parallel.tpmc);
+  EXPECT_EQ(serial.series, parallel.series);
+  EXPECT_EQ(serial.atomicity_violations, 0u);
+}
+
+}  // namespace
+}  // namespace vdb::fleet
