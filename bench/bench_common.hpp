@@ -246,6 +246,19 @@ class BenchRun {
                    static_cast<unsigned long long>(r.open_time),
                    static_cast<unsigned long long>(r.first_commit_time),
                    static_cast<unsigned long long>(r.recovery_retries));
+      // Concurrency-control fields: protocol, worker count, and the
+      // protocol's abort/retry behaviour (all zeros for the serial driver).
+      std::fprintf(
+          f,
+          "\"cc_protocol\": \"%s\", \"workers\": %u, \"aborts\": %llu, "
+          "\"retries\": %llu, \"wait_die_aborts\": %llu, "
+          "\"occ_validate_fails\": %llu, \"cc_lock_waits\": %llu, ",
+          json_escape(r.cc_protocol).c_str(), r.workers,
+          static_cast<unsigned long long>(r.cc_aborts),
+          static_cast<unsigned long long>(r.cc_retries),
+          static_cast<unsigned long long>(r.wait_die_aborts),
+          static_cast<unsigned long long>(r.occ_validate_fails),
+          static_cast<unsigned long long>(r.cc_lock_waits));
       // Per-phase recovery decomposition (simulated microseconds — spans
       // tile the trace, so the non-detection values sum exactly to
       // recovery_seconds) and the full V$-style statistics snapshot.

@@ -35,7 +35,7 @@ export VDB_QUICK=1
 export VDB_JOBS=2
 
 benches="tables12 table3 figure4 figure5 table4 table5 figure6 figure7 \
-ablation extension_twofault corruption fleet"
+ablation extension_twofault corruption fleet cc"
 
 failed=0
 for name in $benches; do

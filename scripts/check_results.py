@@ -15,7 +15,11 @@ Checks, per results/bench_*.json file:
   - bench_fleet.json (sharded-fleet faultload schema) has per-run
     shard_count >= 2, integer promotions / in_doubt_resolved counters, a
     per-shard lost-transaction vector of matching length, and — the hard
-    invariant — zero cross-shard atomicity violations.
+    invariant — zero cross-shard atomicity violations;
+  - bench_cc.json (concurrency-control study) additionally has a valid
+    cc_protocol, workers >= 1, non-negative abort / retry counters, and
+    — since workers=1 never engages the coordinator — tpmC > 0 with zero
+    aborts on every single-worker row.
 
 Exit status 0 = all files pass; 1 = any check failed or no files found.
 
@@ -148,6 +152,41 @@ def check_bench_run(path: pathlib.Path, doc: dict) -> list[str]:
     return errors
 
 
+def check_cc(path: pathlib.Path, doc: dict) -> list[str]:
+    """bench_cc.json: the generic BenchRun checks plus the concurrency
+    fields the coordinator study reports on every row."""
+    errors = check_bench_run(path, doc)
+    for run in doc.get("runs") or []:
+        label = run.get("label", "<unlabelled>")
+        if not run.get("ok", False):
+            continue  # already reported by check_bench_run
+        if run.get("cc_protocol") not in ("2pl", "occ"):
+            errors.append(f"{path}: run '{label}' cc_protocol "
+                          f"{run.get('cc_protocol')!r} not one of "
+                          "('2pl', 'occ')")
+        workers = run.get("workers")
+        if not isinstance(workers, int) or workers < 1:
+            errors.append(f"{path}: run '{label}' workers {workers!r} is "
+                          "not an integer >= 1")
+        for field in ("aborts", "retries", "wait_die_aborts",
+                      "occ_validate_fails", "cc_lock_waits"):
+            value = run.get(field)
+            if not isinstance(value, int) or value < 0:
+                errors.append(f"{path}: run '{label}' {field} {value!r} is "
+                              f"not a non-negative integer")
+        # workers=1 never engages the coordinator: the run is the serial
+        # driver bit for bit, so it must make progress and never abort.
+        if workers == 1:
+            if not (isinstance(run.get("tpmc"), (int, float))
+                    and run["tpmc"] > 0):
+                errors.append(f"{path}: run '{label}' at workers=1 reports "
+                              f"tpmc {run.get('tpmc')!r} (must be > 0)")
+            if run.get("aborts") != 0:
+                errors.append(f"{path}: run '{label}' at workers=1 reports "
+                              f"{run.get('aborts')!r} aborts (must be 0)")
+    return errors
+
+
 def main() -> int:
     results_dir = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "results")
     files = sorted(results_dir.glob("bench_*.json"))
@@ -167,6 +206,8 @@ def main() -> int:
             errors.extend(check_micro(path, doc))
         elif path.name == "bench_fleet.json":
             errors.extend(check_fleet(path, doc))
+        elif path.name == "bench_cc.json":
+            errors.extend(check_cc(path, doc))
         else:
             errors.extend(check_bench_run(path, doc))
         print(f"check_results: checked {path}")

@@ -43,6 +43,7 @@ engine::DatabaseConfig make_db_config(const ExperimentOptions& opts) {
   cfg.storage.cache_pages = opts.cache_pages;
   cfg.restart_mode = opts.restart_mode;
   cfg.early_open_stall = opts.early_open_stall;
+  cfg.cc_protocol = opts.cc_protocol;
   return cfg;
 }
 
@@ -110,6 +111,8 @@ Result<ExperimentResult> Experiment::run() {
 
   tpcc::DriverConfig dcfg;
   dcfg.seed = opts_.seed;
+  dcfg.workers = opts_.workers;
+  dcfg.cc_protocol = opts_.cc_protocol;
   tpcc::Driver driver(&tdb, &sched, dcfg);
 
   const SimTime start = clock.now();
@@ -487,6 +490,14 @@ Result<ExperimentResult> Experiment::run() {
   result.recovery_retries = driver.stats().recovery_retries;
   result.series = driver.series();
   result.series_interval = driver.series_interval();
+  result.cc_protocol = txn::to_string(opts_.cc_protocol);
+  result.workers = driver.workers();
+  result.cc_retries = driver.stats().cc_retries;
+  const txn::CcStats ccs = driver.cc_stats();
+  result.cc_aborts = ccs.aborts;
+  result.wait_die_aborts = ccs.wait_die_aborts;
+  result.occ_validate_fails = ccs.occ_validate_fails;
+  result.cc_lock_waits = ccs.lock_waits;
 
   if (final_db->is_open()) {
     // Early-open restart: drain any redo still pending so the consistency

@@ -68,6 +68,12 @@ struct ExperimentOptions {
   /// M2: stall on pending pages instead of rejecting with
   /// kRecoveryRequired.
   bool early_open_stall = false;
+  /// Terminal emulators driving the engine concurrently. 1 = the original
+  /// serial closed loop (no coordinator; byte-identical results regardless
+  /// of cc_protocol); >1 routes the workload through the transaction
+  /// coordinator with `cc_protocol` mediating conflicts.
+  unsigned workers = 1;
+  txn::CcProtocol cc_protocol = txn::CcProtocol::k2pl;
 };
 
 struct ExperimentResult {
@@ -122,6 +128,15 @@ struct ExperimentResult {
 
   SimTime workload_start = 0;
   SimTime fault_time = 0;
+
+  // Concurrency control (workers > 1; zeros for the serial driver).
+  std::string cc_protocol = "2pl";
+  unsigned workers = 1;
+  std::uint64_t cc_aborts = 0;     // protocol-initiated aborts, all causes
+  std::uint64_t cc_retries = 0;    // attempts resubmitted after such aborts
+  std::uint64_t wait_die_aborts = 0;
+  std::uint64_t occ_validate_fails = 0;
+  std::uint64_t cc_lock_waits = 0;
 
   // Observability (the V$-style statistics area, serialized with every
   // bench JSON row). `recovery_phases` aggregates the recorded recovery

@@ -144,6 +144,21 @@ Result<std::string> AdminShell::execute(const std::string& command) {
       return "restart mode set to " + std::string(to_string(mode)) +
              " (takes effect at next instance recovery)";
     }
+    if (kind == "SYSTEM" && tokens.size() >= 5 && upper(tokens[2]) == "SET" &&
+        upper(tokens[3]) == "CC") {
+      txn::CcProtocol protocol;
+      std::string arg = tokens[4];
+      std::transform(arg.begin(), arg.end(), arg.begin(),
+                     [](unsigned char c) { return std::tolower(c); });
+      if (!txn::parse_cc_protocol(arg, &protocol)) {
+        return make_error(ErrorCode::kInvalidArgument,
+                          "unknown concurrency-control protocol: " + tokens[4]);
+      }
+      db_->set_cc_protocol(protocol);
+      return "concurrency control set to " +
+             std::string(txn::to_string(protocol)) +
+             " (takes effect when a coordinator attaches)";
+    }
     if (kind == "FLEET" && tokens.size() >= 4 &&
         upper(tokens[2]) == "FAILOVER") {
       if (!fleet_.failover) {
@@ -213,6 +228,24 @@ Result<std::string> AdminShell::execute(const std::string& command) {
       if (const RestartCoordinator* rc = db_->restart_coordinator()) {
         out << " (restart recovery pending: " << rc->pending_pages_count()
             << " pages)";
+      }
+      out << "\n";
+      return out.str();
+    }
+    if (what == "CC") {
+      out << "concurrency control: "
+          << txn::to_string(db_->config().cc_protocol);
+      if (const txn::ConcurrencyControl* cc = db_->concurrency_control()) {
+        const txn::CcStats s = cc->stats();
+        out << " (coordinator attached: " << txn::to_string(cc->protocol())
+            << ")\n"
+            << "txns begun=" << s.begun << " committed=" << s.committed
+            << " aborted=" << s.aborts << "\n"
+            << "wait_die_aborts=" << s.wait_die_aborts
+            << " occ_validate_fails=" << s.occ_validate_fails
+            << " lock_waits=" << s.lock_waits;
+      } else {
+        out << " (no coordinator attached; serial execution)";
       }
       out << "\n";
       return out.str();

@@ -542,20 +542,30 @@ Status Database::alter_datafile_online(FileId id) {
 // --- transactions & DML -----------------------------------------------------------
 
 Result<TxnId> Database::begin() {
+  // Under a coordinator the latch also serializes TxnId allocation, which
+  // doubles as the wait-die age: ids grow monotonically, smaller = older.
+  auto guard = coord_guard();
   VDB_RETURN_IF_ERROR(ensure_open());
   advance(cfg_.cost.cpu_per_txn);
   return txns_.begin();
 }
 
 Result<Lsn> Database::commit(TxnId txn) {
+  auto guard = coord_guard();
   VDB_RETURN_IF_ERROR(ensure_open());
   auto t = txns_.get(txn);
   if (!t.is_ok()) return t.status();
+
+  // OCC commit-time validation, under the latch so no other commit's
+  // publish can interleave: a failure surfaces as an error the worker
+  // answers with rollback (undoing any in-place writes).
+  if (cc_ != nullptr) VDB_RETURN_IF_ERROR(cc_->validate(txn));
 
   if (t.value()->undo.empty()) {
     // Read-only: nothing to make durable.
     VDB_RETURN_IF_ERROR(txns_.mark_committed(txn, 0));
     locks_.release_all(txn);
+    if (cc_ != nullptr) cc_->end(txn, /*committed=*/true);
     stats_.commits += 1;
     metrics_.commits->inc();
     return Lsn{0};
@@ -578,6 +588,13 @@ Result<Lsn> Database::commit(TxnId txn) {
   }
 
   VDB_RETURN_IF_ERROR(txns_.mark_committed(txn, lsn));
+  // Publish (bump the committed write set's versions for OCC validators)
+  // and release CC locks before the latch drops: a transaction that
+  // mediates one of these rows next must already see the new versions.
+  if (cc_ != nullptr) {
+    cc_->publish(txn);
+    cc_->end(txn, /*committed=*/true);
+  }
   locks_.release_all(txn);
   stats_.commits += 1;
   metrics_.commits->inc();
@@ -585,6 +602,7 @@ Result<Lsn> Database::commit(TxnId txn) {
 }
 
 Status Database::rollback(TxnId txn) {
+  auto guard = coord_guard();
   VDB_RETURN_IF_ERROR(ensure_open());
   auto t = txns_.get(txn);
   if (!t.is_ok()) return t.status();
@@ -608,6 +626,7 @@ Status Database::rollback(TxnId txn) {
     VDB_RETURN_IF_ERROR(txns_.mark_end_logged(txn));
   }
   VDB_RETURN_IF_ERROR(txns_.mark_aborted(txn));
+  if (cc_ != nullptr) cc_->end(txn, /*committed=*/false);
   locks_.release_all(txn);
   stats_.aborts += 1;
   metrics_.rollbacks->inc();
@@ -732,6 +751,7 @@ storage::TableHeap* Database::heap(TableId table) {
 
 Result<RowId> Database::insert(TxnId txn, TableId table,
                                std::span<const std::uint8_t> row) {
+  auto guard = coord_guard();
   VDB_RETURN_IF_ERROR(ensure_open());
   auto def = catalog_.find_table(table);
   if (!def.is_ok()) return def.status();
@@ -773,9 +793,19 @@ Result<RowId> Database::insert(TxnId txn, TableId table,
     h->adopt_page(rid.page);
   }
 
-  VDB_RETURN_IF_ERROR(
-      locks_.acquire(txn, txn::LockTarget::for_row(table, rid),
-                     txn::LockMode::kExclusive));
+  if (cc_ != nullptr) {
+    // The rid only exists now that the slot is chosen, so this mediation
+    // runs under the latch — a would-wait must die (may_wait=false) to
+    // keep the latch from deadlocking the round. Fresh slots are all but
+    // uncontended, so the conversion is theoretical.
+    VDB_RETURN_IF_ERROR(cc_->mediate(txn, txn::LockTarget::for_row(table, rid),
+                                     txn::AccessMode::kWrite,
+                                     /*may_wait=*/false));
+  } else {
+    VDB_RETURN_IF_ERROR(
+        locks_.acquire(txn, txn::LockTarget::for_row(table, rid),
+                       txn::LockMode::kExclusive));
+  }
 
   wal::DmlChange change;
   change.table = table;
@@ -803,6 +833,14 @@ Result<RowId> Database::insert(TxnId txn, TableId table,
 
 Status Database::update(TxnId txn, TableId table, RowId rid,
                         std::span<const std::uint8_t> row) {
+  // Mediate *before* taking the latch: a blocked waiter must not hold the
+  // latch its lock holder needs in order to commit and release.
+  if (cc_ != nullptr) {
+    VDB_RETURN_IF_ERROR(cc_->mediate(txn, txn::LockTarget::for_row(table, rid),
+                                     txn::AccessMode::kWrite,
+                                     /*may_wait=*/true));
+  }
+  auto guard = coord_guard();
   VDB_RETURN_IF_ERROR(ensure_open());
   auto def = catalog_.find_table(table);
   if (!def.is_ok()) return def.status();
@@ -821,9 +859,11 @@ Status Database::update(TxnId txn, TableId table, RowId rid,
     VDB_RETURN_IF_ERROR(restart_->check_access(rid.page));
   }
 
-  VDB_RETURN_IF_ERROR(
-      locks_.acquire(txn, txn::LockTarget::for_row(table, rid),
-                     txn::LockMode::kExclusive));
+  if (cc_ == nullptr) {
+    VDB_RETURN_IF_ERROR(
+        locks_.acquire(txn, txn::LockTarget::for_row(table, rid),
+                       txn::LockMode::kExclusive));
+  }
 
   auto before = h->read(rid);
   if (!before.is_ok()) return before.status();
@@ -854,6 +894,12 @@ Status Database::update(TxnId txn, TableId table, RowId rid,
 }
 
 Status Database::erase(TxnId txn, TableId table, RowId rid) {
+  if (cc_ != nullptr) {
+    VDB_RETURN_IF_ERROR(cc_->mediate(txn, txn::LockTarget::for_row(table, rid),
+                                     txn::AccessMode::kWrite,
+                                     /*may_wait=*/true));
+  }
+  auto guard = coord_guard();
   VDB_RETURN_IF_ERROR(ensure_open());
   auto def = catalog_.find_table(table);
   if (!def.is_ok()) return def.status();
@@ -867,9 +913,11 @@ Status Database::erase(TxnId txn, TableId table, RowId rid) {
     VDB_RETURN_IF_ERROR(restart_->check_access(rid.page));
   }
 
-  VDB_RETURN_IF_ERROR(
-      locks_.acquire(txn, txn::LockTarget::for_row(table, rid),
-                     txn::LockMode::kExclusive));
+  if (cc_ == nullptr) {
+    VDB_RETURN_IF_ERROR(
+        locks_.acquire(txn, txn::LockTarget::for_row(table, rid),
+                       txn::LockMode::kExclusive));
+  }
 
   auto before = h->read(rid);
   if (!before.is_ok()) return before.status();
@@ -900,6 +948,12 @@ Status Database::erase(TxnId txn, TableId table, RowId rid) {
 
 Result<std::vector<std::uint8_t>> Database::read(TxnId txn, TableId table,
                                                  RowId rid) {
+  if (cc_ != nullptr) {
+    VDB_RETURN_IF_ERROR(cc_->mediate(txn, txn::LockTarget::for_row(table, rid),
+                                     txn::AccessMode::kRead,
+                                     /*may_wait=*/true));
+  }
+  auto guard = coord_guard();
   VDB_RETURN_IF_ERROR(ensure_open());
   storage::TableHeap* h = heap(table);
   if (h == nullptr) {
@@ -909,8 +963,10 @@ Result<std::vector<std::uint8_t>> Database::read(TxnId txn, TableId table,
   if (restart_ != nullptr) {
     VDB_RETURN_IF_ERROR(restart_->check_access(rid.page));
   }
-  VDB_RETURN_IF_ERROR(locks_.acquire(
-      txn, txn::LockTarget::for_row(table, rid), txn::LockMode::kShared));
+  if (cc_ == nullptr) {
+    VDB_RETURN_IF_ERROR(locks_.acquire(
+        txn, txn::LockTarget::for_row(table, rid), txn::LockMode::kShared));
+  }
   stats_.rows_read += 1;
   return h->read(rid);
 }

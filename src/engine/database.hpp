@@ -19,6 +19,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -299,6 +300,25 @@ class Database {
   /// recovery (a restart already in progress keeps its mode).
   void set_restart_mode(RestartMode mode) { cfg_.restart_mode = mode; }
 
+  // --- concurrent execution (transaction coordinator) ---------------------------
+
+  /// Installs a concurrency-control delegate and switches the instance to
+  /// concurrent mode: row-conflict mediation moves from the internal lock
+  /// manager to the delegate, commits validate/publish through it, and
+  /// every transaction entry point serializes behind the coordinator
+  /// latch so worker threads can share the engine (redo arena staging,
+  /// group commit, buffer cache). Passing nullptr uninstalls the delegate
+  /// and returns to the serial fast path. The delegate must outlive its
+  /// installation.
+  void set_concurrency_control(txn::ConcurrencyControl* cc) {
+    cc_ = cc;
+    concurrent_ = (cc != nullptr);
+  }
+  txn::ConcurrencyControl* concurrency_control() const { return cc_; }
+
+  /// ALTER SYSTEM SET CC: the protocol the next coordinator run uses.
+  void set_cc_protocol(txn::CcProtocol p) { cfg_.cc_protocol = p; }
+
   /// Mounts from an externally supplied control-file snapshot (restore from
   /// backup, stand-by instantiation) without opening.
   Status mount_from_control(const ControlFileData& data);
@@ -329,6 +349,16 @@ class Database {
  private:
   Status ensure_open() const;
   void advance(SimDuration d) { scheduler_->clock().advance_by(d); }
+
+  /// Coordinator latch: held for the body of every transaction entry point
+  /// while a ConcurrencyControl is installed; a no-op lock in serial mode.
+  /// Recursive because commit -> group-commit flush -> log-switch
+  /// checkpoint re-enters the engine on the same thread.
+  std::unique_lock<std::recursive_mutex> coord_guard() {
+    return concurrent_
+               ? std::unique_lock<std::recursive_mutex>(coord_latch_)
+               : std::unique_lock<std::recursive_mutex>();
+  }
 
   /// Full checkpoint: flush log, write all dirty pages, emit checkpoint
   /// record, advance the recovery position, persist the control file.
@@ -395,6 +425,10 @@ class Database {
   /// encoding is deterministic.
   std::map<std::uint64_t, InDoubtBranch> in_doubt_;
   std::map<std::uint64_t, bool> coord_decisions_;
+  /// Concurrent-mode state (see set_concurrency_control).
+  txn::ConcurrencyControl* cc_ = nullptr;
+  bool concurrent_ = false;
+  std::recursive_mutex coord_latch_;
 };
 
 }  // namespace vdb::engine

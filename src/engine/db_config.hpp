@@ -11,6 +11,7 @@
 
 #include "common/types.hpp"
 #include "storage/storage_manager.hpp"
+#include "txn/coordinator.hpp"
 #include "txn/txn_manager.hpp"
 #include "wal/redo_log.hpp"
 
@@ -120,6 +121,10 @@ struct DatabaseConfig {
   /// the spot, charged to recovery_read_stall) instead of rejecting with
   /// kRecoveryRequired.
   bool early_open_stall = false;
+  /// Concurrency-control protocol used when a transaction coordinator
+  /// drives this instance with worker threads (SHOW CC / ALTER SYSTEM SET
+  /// CC). The serial driver ignores it.
+  txn::CcProtocol cc_protocol = txn::CcProtocol::k2pl;
   /// Background sweeper cadence for M2-M4. 0 picks the mode default:
   /// M2/M4 sweep aggressively (short interval, large batches), M3 trickles.
   SimDuration restart_sweep_interval = 0;

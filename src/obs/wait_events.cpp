@@ -11,6 +11,8 @@ const char* to_string(WaitEvent e) {
     case WaitEvent::kArchiveStall: return "archive_stall";
     case WaitEvent::kRecoveryReadStall: return "recovery_read_stall";
     case WaitEvent::kFailoverWait: return "failover_wait";
+    case WaitEvent::kEnqLockWait: return "enq_lock_wait";
+    case WaitEvent::kOccValidateFail: return "occ_validate_fail";
     case WaitEvent::kCount: break;
   }
   return "?";

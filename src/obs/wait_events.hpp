@@ -32,6 +32,8 @@ enum class WaitEvent : std::uint8_t {
   kArchiveStall,           // log switch waiting on the archiver
   kRecoveryReadStall,      // fetch blocked on on-demand single-page redo
   kFailoverWait,           // fleet driver blocked on a shard failover
+  kEnqLockWait,            // CC row-lock conflict wait (enq: TX analogue)
+  kOccValidateFail,        // work discarded by an OCC validation failure
   kCount,
 };
 constexpr std::size_t kWaitEventCount =

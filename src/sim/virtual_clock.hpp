@@ -4,6 +4,14 @@
 // recovery work) advance this clock; no wall-clock time is ever read. A
 // 20-minute paper experiment completes in milliseconds of real time while
 // reporting exact simulated seconds.
+//
+// Concurrent execution (the transaction coordinator's worker threads) uses
+// a per-thread *sink*: while a sink is installed on the calling thread the
+// global clock is frozen and every advance accumulates into the sink as an
+// offset from the frozen instant instead. Each worker thereby runs on its
+// own private timeline for one scheduling round; the round driver then
+// advances the global clock once by the makespan (the largest sink),
+// modelling N genuinely parallel processors against shared devices.
 #pragma once
 
 #include "common/status.hpp"
@@ -15,16 +23,51 @@ class VirtualClock {
  public:
   SimTime now() const { return now_; }
 
-  /// Moves time forward to `t`. Time never goes backwards.
+  /// Moves time forward to `t`. Time never goes backwards. With a local
+  /// sink installed the global clock stays frozen and the sink absorbs the
+  /// offset instead (max semantics, so chained device busy-until waits do
+  /// not double-charge); a target in the thread's past is a no-op.
   void advance_to(SimTime t) {
+    if (local_sink_ != nullptr) {
+      if (t > now_ && t - now_ > *local_sink_) *local_sink_ = t - now_;
+      return;
+    }
     VDB_CHECK_MSG(t >= now_, "virtual clock moved backwards");
     now_ = t;
   }
 
-  void advance_by(SimDuration d) { now_ += d; }
+  void advance_by(SimDuration d) {
+    if (local_sink_ != nullptr) {
+      *local_sink_ += d;
+      return;
+    }
+    now_ += d;
+  }
+
+  /// Installs `sink` as the calling thread's private timeline; all
+  /// advances on this thread accumulate there until removed. The global
+  /// clock must stay frozen (no sink-less advances) while any sink is
+  /// installed anywhere.
+  static void install_local_sink(SimDuration* sink) { local_sink_ = sink; }
+  static void remove_local_sink() { local_sink_ = nullptr; }
+
+  /// The calling thread's sink offset, or 0 with no sink installed — the
+  /// worker-local "elapsed this round", used to timestamp commits and to
+  /// hand a released lock's availability instant to its waiters.
+  static SimDuration local_elapsed() {
+    return local_sink_ != nullptr ? *local_sink_ : 0;
+  }
+
+  /// Raises the calling thread's sink to `at` (no-op without a sink or if
+  /// already past): a worker granted a lock at virtual offset `at` cannot
+  /// have proceeded before the holder released it.
+  static void raise_local(SimDuration at) {
+    if (local_sink_ != nullptr && at > *local_sink_) *local_sink_ = at;
+  }
 
  private:
   SimTime now_{0};
+  static inline thread_local SimDuration* local_sink_ = nullptr;
 };
 
 }  // namespace vdb::sim

@@ -74,7 +74,10 @@ Status TpccDb::attach(engine::Database* db) {
   db_->set_rebuild_hook(
       [this](TableId table, RowId rid, std::span<const std::uint8_t> row) {
         auto tbl = tbl_of(table);
-        if (tbl.has_value()) index_insert(*tbl, rid, row);
+        if (tbl.has_value()) {
+          std::unique_lock lock(index_mu_);
+          index_insert(*tbl, rid, row);
+        }
       });
   return Status::ok();
 }
@@ -87,12 +90,13 @@ std::optional<Tbl> TpccDb::tbl_of(TableId id) const {
 }
 
 void TpccDb::apply_index_change(Tbl t, const engine::RowChange& change) {
+  std::unique_lock lock(index_mu_);
   switch (change.kind) {
     case engine::RowChange::Kind::kInsert:
       index_insert(t, change.rid, change.after);
       break;
     case engine::RowChange::Kind::kDelete:
-      index_erase(t, change.before);
+      index_erase(t, change.rid, change.before);
       break;
     case engine::RowChange::Kind::kUpdate:
       // TPC-C business keys are immutable; nothing moves.
@@ -152,74 +156,89 @@ void TpccDb::index_insert(Tbl t, RowId rid,
   }
 }
 
-void TpccDb::index_erase(Tbl t, std::span<const std::uint8_t> row) {
+void TpccDb::index_erase(Tbl t, RowId rid, std::span<const std::uint8_t> row) {
+  // Erase only if the index still maps the business key to *this* row. A
+  // concurrent transaction that aborted a duplicate-key insert delivers a
+  // delete notification for a key another (committed) row legitimately
+  // owns; an unconditional erase would strip the survivor's entry.
+  auto erase_match = [rid](auto& idx, const auto& key) {
+    const RowId* cur = idx.find(key);
+    if (cur != nullptr && *cur == rid) idx.erase(key);
+  };
   switch (t) {
     case Tbl::kWarehouse: {
       auto r = from_bytes<WarehouseRow>(row);
-      warehouse_idx_.erase(r.w_id);
+      erase_match(warehouse_idx_, r.w_id);
       break;
     }
     case Tbl::kDistrict: {
       auto r = from_bytes<DistrictRow>(row);
-      district_idx_.erase({r.d_w_id, r.d_id});
+      erase_match(district_idx_, std::tuple{r.d_w_id, r.d_id});
       break;
     }
     case Tbl::kCustomer: {
       auto r = from_bytes<CustomerRow>(row);
-      customer_idx_.erase({r.c_w_id, r.c_d_id, r.c_id});
-      name_idx_.erase({r.c_w_id, r.c_d_id, to_name_arr(r.c_last), r.c_id});
+      erase_match(customer_idx_, std::tuple{r.c_w_id, r.c_d_id, r.c_id});
+      erase_match(name_idx_, std::tuple{r.c_w_id, r.c_d_id,
+                                        to_name_arr(r.c_last), r.c_id});
       break;
     }
     case Tbl::kHistory:
       break;
     case Tbl::kNewOrder: {
       auto r = from_bytes<NewOrderRow>(row);
-      new_order_idx_.erase({r.no_w_id, r.no_d_id, r.no_o_id});
+      erase_match(new_order_idx_, std::tuple{r.no_w_id, r.no_d_id, r.no_o_id});
       break;
     }
     case Tbl::kOrder: {
       auto r = from_bytes<OrderRow>(row);
-      order_idx_.erase({r.o_w_id, r.o_d_id, r.o_id});
-      order_cust_idx_.erase({r.o_w_id, r.o_d_id, r.o_c_id, r.o_id});
+      erase_match(order_idx_, std::tuple{r.o_w_id, r.o_d_id, r.o_id});
+      erase_match(order_cust_idx_,
+                  std::tuple{r.o_w_id, r.o_d_id, r.o_c_id, r.o_id});
       break;
     }
     case Tbl::kOrderLine: {
       auto r = from_bytes<OrderLineRow>(row);
-      order_line_idx_.erase({r.ol_w_id, r.ol_d_id, r.ol_o_id, r.ol_number});
+      erase_match(order_line_idx_,
+                  std::tuple{r.ol_w_id, r.ol_d_id, r.ol_o_id, r.ol_number});
       break;
     }
     case Tbl::kItem: {
       auto r = from_bytes<ItemRow>(row);
-      item_idx_.erase(r.i_id);
+      erase_match(item_idx_, r.i_id);
       break;
     }
     case Tbl::kStock: {
       auto r = from_bytes<StockRow>(row);
-      stock_idx_.erase({r.s_w_id, r.s_i_id});
+      erase_match(stock_idx_, std::tuple{r.s_w_id, r.s_i_id});
       break;
     }
   }
 }
 
 std::optional<RowId> TpccDb::warehouse_rid(std::uint32_t w) const {
+  std::shared_lock lock(index_mu_);
   const RowId* rid = warehouse_idx_.find(w);
   return rid ? std::optional<RowId>(*rid) : std::nullopt;
 }
 
 std::optional<RowId> TpccDb::district_rid(std::uint32_t w,
                                           std::uint32_t d) const {
+  std::shared_lock lock(index_mu_);
   const RowId* rid = district_idx_.find({w, d});
   return rid ? std::optional<RowId>(*rid) : std::nullopt;
 }
 
 std::optional<RowId> TpccDb::customer_rid(std::uint32_t w, std::uint32_t d,
                                           std::uint32_t c) const {
+  std::shared_lock lock(index_mu_);
   const RowId* rid = customer_idx_.find({w, d, c});
   return rid ? std::optional<RowId>(*rid) : std::nullopt;
 }
 
 std::vector<std::pair<std::uint32_t, RowId>> TpccDb::customers_by_name(
     std::uint32_t w, std::uint32_t d, const std::string& last) const {
+  std::shared_lock lock(index_mu_);
   std::vector<std::pair<std::uint32_t, RowId>> out;
   const NameArr name = to_name_arr(last);
   name_idx_.scan_range(
@@ -234,24 +253,28 @@ std::vector<std::pair<std::uint32_t, RowId>> TpccDb::customers_by_name(
 }
 
 std::optional<RowId> TpccDb::item_rid(std::uint32_t i) const {
+  std::shared_lock lock(index_mu_);
   const RowId* rid = item_idx_.find(i);
   return rid ? std::optional<RowId>(*rid) : std::nullopt;
 }
 
 std::optional<RowId> TpccDb::stock_rid(std::uint32_t w,
                                        std::uint32_t i) const {
+  std::shared_lock lock(index_mu_);
   const RowId* rid = stock_idx_.find({w, i});
   return rid ? std::optional<RowId>(*rid) : std::nullopt;
 }
 
 std::optional<RowId> TpccDb::order_rid(std::uint32_t w, std::uint32_t d,
                                        std::uint32_t o) const {
+  std::shared_lock lock(index_mu_);
   const RowId* rid = order_idx_.find({w, d, o});
   return rid ? std::optional<RowId>(*rid) : std::nullopt;
 }
 
 std::optional<std::pair<std::uint32_t, RowId>> TpccDb::last_order_of_customer(
     std::uint32_t w, std::uint32_t d, std::uint32_t c) const {
+  std::shared_lock lock(index_mu_);
   std::optional<std::pair<std::uint32_t, RowId>> out;
   order_cust_idx_.scan_range_desc(
       {w, d, c, 0}, {w, d, c, ~0u},
@@ -266,6 +289,7 @@ std::optional<std::pair<std::uint32_t, RowId>> TpccDb::last_order_of_customer(
 
 std::optional<std::pair<std::uint32_t, RowId>> TpccDb::oldest_new_order(
     std::uint32_t w, std::uint32_t d) const {
+  std::shared_lock lock(index_mu_);
   std::optional<std::pair<std::uint32_t, RowId>> out;
   new_order_idx_.scan_range(
       {w, d, 0}, {w, d, ~0u},
@@ -279,12 +303,14 @@ std::optional<std::pair<std::uint32_t, RowId>> TpccDb::oldest_new_order(
 
 std::optional<RowId> TpccDb::new_order_rid(std::uint32_t w, std::uint32_t d,
                                            std::uint32_t o) const {
+  std::shared_lock lock(index_mu_);
   const RowId* rid = new_order_idx_.find({w, d, o});
   return rid ? std::optional<RowId>(*rid) : std::nullopt;
 }
 
 std::vector<RowId> TpccDb::order_lines(std::uint32_t w, std::uint32_t d,
                                        std::uint32_t o) const {
+  std::shared_lock lock(index_mu_);
   std::vector<RowId> out;
   order_line_idx_.scan_range(
       {w, d, o, 0}, {w, d, o, ~0u},
@@ -298,6 +324,7 @@ std::vector<RowId> TpccDb::order_lines(std::uint32_t w, std::uint32_t d,
 std::vector<RowId> TpccDb::order_lines_range(std::uint32_t w, std::uint32_t d,
                                              std::uint32_t o1,
                                              std::uint32_t o2) const {
+  std::shared_lock lock(index_mu_);
   std::vector<RowId> out;
   if (o1 >= o2) return out;
   order_line_idx_.scan_range(
@@ -310,6 +337,7 @@ std::vector<RowId> TpccDb::order_lines_range(std::uint32_t w, std::uint32_t d,
 }
 
 size_t TpccDb::index_entries() const {
+  std::shared_lock lock(index_mu_);
   return warehouse_idx_.size() + district_idx_.size() +
          customer_idx_.size() + name_idx_.size() + item_idx_.size() +
          stock_idx_.size() + order_idx_.size() + order_cust_idx_.size() +
@@ -317,6 +345,7 @@ size_t TpccDb::index_entries() const {
 }
 
 void TpccDb::clear_indexes() {
+  std::unique_lock lock(index_mu_);
   warehouse_idx_.clear();
   district_idx_.clear();
   customer_idx_.clear();

@@ -11,6 +11,7 @@
 #include <array>
 #include <cstdint>
 #include <optional>
+#include <shared_mutex>
 #include <span>
 #include <string>
 #include <tuple>
@@ -116,13 +117,20 @@ class TpccDb {
 
  private:
   void apply_index_change(Tbl t, const engine::RowChange& change);
+  // Callers of the two low-level maintainers must hold index_mu_ exclusive.
   void index_insert(Tbl t, RowId rid, std::span<const std::uint8_t> row);
-  void index_erase(Tbl t, std::span<const std::uint8_t> row);
+  void index_erase(Tbl t, RowId rid, std::span<const std::uint8_t> row);
   std::optional<Tbl> tbl_of(TableId id) const;
 
   TpccScale scale_;
   engine::Database* db_ = nullptr;
   std::array<TableId, kTableCount> tables_{};
+
+  /// Guards the B+-trees when a transaction coordinator drives the engine
+  /// with worker threads: observers mutate under an exclusive lock, the
+  /// access-path readers above take it shared. Uncontended (the serial
+  /// driver) it is a few atomic ops per call.
+  mutable std::shared_mutex index_mu_;
 
   using U32 = std::uint32_t;
   index::BPlusTree<U32, RowId> warehouse_idx_;

@@ -11,11 +11,13 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "obs/observability.hpp"
 #include "sim/scheduler.hpp"
 #include "tpcc/tpcc_txns.hpp"
+#include "txn/coordinator.hpp"
 
 namespace vdb::tpcc {
 
@@ -28,6 +30,12 @@ struct DriverConfig {
   /// pending). The end-user keeps hammering; the background sweeper
   /// eventually drains the page and the retry goes through.
   SimDuration recovery_retry_backoff = 100 * kMillisecond;
+  /// Terminal emulators running concurrently. 1 keeps the original serial
+  /// closed loop (no coordinator, no concurrency control — byte-identical
+  /// behaviour); >1 drives the engine through a TxnCoordinator with
+  /// `cc_protocol` mediating row conflicts.
+  unsigned workers = 1;
+  txn::CcProtocol cc_protocol = txn::CcProtocol::k2pl;
 };
 
 struct CommitRecord {
@@ -46,11 +54,16 @@ struct DriverStats {
   /// Attempts bounced by the M2 early-open gate (kRecoveryRequired) and
   /// retried after recovery_retry_backoff.
   std::uint64_t recovery_retries = 0;
+  /// Concurrent mode only: attempts aborted by the concurrency-control
+  /// protocol (wait-die death, OCC validation failure, stale access-path
+  /// race) and retried with fresh inputs.
+  std::uint64_t cc_retries = 0;
 };
 
 class Driver {
  public:
   Driver(TpccDb* db, sim::Scheduler* scheduler, DriverConfig cfg);
+  ~Driver();  // out of line: WorkerState is complete only in the .cpp
 
   /// Runs the standard mix until the virtual clock reaches `until`, firing
   /// due background events between transactions. Returns OK at the time
@@ -79,8 +92,16 @@ class Driver {
   SimDuration response_percentile(TxnType type, double q) const;
   SimDuration mean_response(TxnType type) const;
 
+  /// Concurrency-control protocol behaviour (all zeros in serial mode).
+  txn::CcStats cc_stats() const;
+  unsigned workers() const { return coord_ ? coord_->workers() : 1; }
+
  private:
+  struct WorkerState;
+
   TxnType pick_type();
+  Status run_serial(SimTime until);
+  Status run_concurrent(SimTime until);
 
   TpccDb* db_;
   sim::Scheduler* scheduler_;
@@ -100,6 +121,11 @@ class Driver {
   /// a new Database incarnation, and with it possibly a new statistics
   /// area, so cached pointers must not outlive one call.
   std::array<obs::Histogram*, kTxnTypes> latency_hist_{};
+  /// Concurrent mode (cfg_.workers > 1): the worker pool plus one
+  /// terminal-emulator state per worker, persistent across run_until()
+  /// calls so a crash-restart resumes each worker's input stream.
+  std::unique_ptr<txn::TxnCoordinator> coord_;
+  std::vector<std::unique_ptr<WorkerState>> workers_;
 };
 
 }  // namespace vdb::tpcc

@@ -310,6 +310,19 @@ Result<TxnOutcome> TpccTxns::delivery(std::uint32_t w) {
 
     auto no_rid = db_->new_order_rid(w, d, oldest->first);
     if (!no_rid.has_value()) continue;
+    // The index lookup above runs outside concurrency control, so the rid
+    // can be stale: a concurrent abort frees the slot and an unrelated
+    // insert reuses it. Re-read the row under the txn's own mediation and
+    // verify the business key before erasing — under 2PL the read lock
+    // pins the row until commit; under OCC the erase's early validation
+    // aborts us if a writer touched the slot after this read.
+    auto no_row = db_->read_row<NewOrderRow>(txn, Tbl::kNewOrder, *no_rid);
+    if (!no_row.is_ok()) return fail_txn(db, txn, no_row.status());
+    if (no_row.value().no_w_id != w || no_row.value().no_d_id != d ||
+        no_row.value().no_o_id != oldest->first) {
+      return fail_txn(db, txn,
+                      Status{ErrorCode::kNotFound, "new_order slot reused"});
+    }
     Status st = db.erase(txn, db_->table(Tbl::kNewOrder), *no_rid);
     if (!st.is_ok()) return fail_txn(db, txn, st);
 
@@ -319,6 +332,11 @@ Result<TxnOutcome> TpccTxns::delivery(std::uint32_t w) {
     }
     auto order = db_->read_row<OrderRow>(txn, Tbl::kOrder, *o_rid);
     if (!order.is_ok()) return fail_txn(db, txn, order.status());
+    if (order.value().o_w_id != w || order.value().o_d_id != d ||
+        order.value().o_id != oldest->first) {
+      return fail_txn(db, txn,
+                      Status{ErrorCode::kNotFound, "order slot reused"});
+    }
     OrderRow new_order_row = order.value();
     new_order_row.o_carrier_id = carrier;
     st = db_->update_row(txn, Tbl::kOrder, *o_rid, new_order_row);
@@ -328,6 +346,11 @@ Result<TxnOutcome> TpccTxns::delivery(std::uint32_t w) {
     for (RowId rid : db_->order_lines(w, d, oldest->first)) {
       auto line = db_->read_row<OrderLineRow>(txn, Tbl::kOrderLine, rid);
       if (!line.is_ok()) return fail_txn(db, txn, line.status());
+      if (line.value().ol_w_id != w || line.value().ol_d_id != d ||
+          line.value().ol_o_id != oldest->first) {
+        return fail_txn(
+            db, txn, Status{ErrorCode::kNotFound, "order_line slot reused"});
+      }
       OrderLineRow new_line = line.value();
       new_line.ol_delivery_d = now;
       total += new_line.ol_amount;
